@@ -1,0 +1,71 @@
+//! Criterion benches over the scheduling policies: one group per
+//! experiment family, measuring end-to-end simulated-kernel wall time on
+//! tiny inputs (the statistical complement to the `exp` harness, which
+//! reports simulated cycles on full inputs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpgpu_sim::GpuConfig;
+use gpgpu_workloads::{by_name, run_workload, Scale};
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+fn run(name: &str, warp: WarpPolicy, cta: CtaPolicy) -> u64 {
+    let mut w = by_name(name, Scale::Tiny).expect("suite member");
+    let factory = warp.factory();
+    run_workload(
+        w.as_mut(),
+        GpuConfig::test_small(),
+        factory.as_ref(),
+        cta.scheduler(),
+        50_000_000,
+    )
+    .expect("runs and verifies")
+    .cycles()
+}
+
+/// E3/E5 family: baseline vs LCS on a memory-bound and a compute-bound
+/// kernel.
+fn bench_lcs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lcs");
+    g.sample_size(10);
+    for name in ["vecadd", "fmaheavy"] {
+        g.bench_with_input(BenchmarkId::new("baseline", name), name, |b, n| {
+            b.iter(|| run(n, WarpPolicy::Gto, CtaPolicy::Baseline(None)))
+        });
+        g.bench_with_input(BenchmarkId::new("lcs", name), name, |b, n| {
+            b.iter(|| run(n, WarpPolicy::Gto, CtaPolicy::Lcs(0.7)))
+        });
+    }
+    g.finish();
+}
+
+/// E4 family: warp schedulers.
+fn bench_warp_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("warp-sched");
+    g.sample_size(10);
+    for (label, warp) in [
+        ("lrr", WarpPolicy::Lrr),
+        ("gto", WarpPolicy::Gto),
+        ("two-level", WarpPolicy::TwoLevel(8)),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| run("stencil2d", warp, CtaPolicy::Baseline(None)))
+        });
+    }
+    g.finish();
+}
+
+/// E7 family: BCS + BAWS.
+fn bench_bcs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bcs");
+    g.sample_size(10);
+    g.bench_function("baseline", |b| {
+        b.iter(|| run("hotspot", WarpPolicy::Gto, CtaPolicy::Baseline(None)))
+    });
+    g.bench_function("bcs-baws", |b| {
+        b.iter(|| run("hotspot", WarpPolicy::Baws(2), CtaPolicy::Bcs(2)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lcs, bench_warp_schedulers, bench_bcs);
+criterion_main!(benches);

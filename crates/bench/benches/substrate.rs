@@ -1,0 +1,99 @@
+//! Criterion microbenches of the simulator substrate itself: cache,
+//! DRAM, crossbar, coalescer, and SIMT-stack hot paths. These guard the
+//! simulator's own performance (simulated cycles per host second), which
+//! bounds how large an experiment the harness can run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpgpu_mem::dram::DramRequest;
+use gpgpu_mem::{AccessKind, Cache, CacheConfig, Crossbar, DramChannel, DramConfig, ReqId, XbarConfig};
+use gpgpu_sim::coalesce::coalesce;
+use gpgpu_sim::{SimtStack, FULL_MASK};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/hit-access", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_data_default());
+        cache.fill(0, 0);
+        b.iter(|| black_box(cache.access(black_box(0x40), AccessKind::Load, Some(ReqId(1)), 0)))
+    });
+    c.bench_function("cache/miss-fill-cycle", |b| {
+        let mut cache = Cache::new(CacheConfig::l1_data_default());
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(128);
+            let _ = cache.access(addr, AccessKind::Load, Some(ReqId(addr)), 0);
+            let _ = cache.pop_downstream();
+            black_box(cache.fill(addr, 0))
+        })
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram/submit-tick", |b| {
+        let mut chan = DramChannel::new(DramConfig::gddr5_default());
+        let mut now = 0u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(128) % (1 << 20);
+            let _ = chan.submit(
+                DramRequest {
+                    local_addr: addr,
+                    is_read: true,
+                    token: addr,
+                },
+                now,
+            );
+            let done = chan.tick(now);
+            now += 1;
+            black_box(done)
+        })
+    });
+}
+
+fn bench_xbar(c: &mut Criterion) {
+    c.bench_function("xbar/send-tick-pop", |b| {
+        let mut x: Crossbar<u64> = Crossbar::new(XbarConfig::default_with_ports(15, 6));
+        let mut now = 0u64;
+        b.iter(|| {
+            let _ = x.try_send(now, (now % 15) as usize, (now % 6) as usize, 128, now);
+            x.tick(now);
+            for d in 0..6 {
+                while let Some(p) = x.pop_delivered(d) {
+                    black_box(p);
+                }
+            }
+            now += 1;
+        })
+    });
+}
+
+fn bench_coalesce(c: &mut Criterion) {
+    let coalesced: [u64; 32] = std::array::from_fn(|l| 0x1000 + 4 * l as u64);
+    let scattered: [u64; 32] = std::array::from_fn(|l| (l as u64) * 4096 + 64);
+    c.bench_function("coalesce/unit-stride", |b| {
+        b.iter(|| black_box(coalesce(black_box(&coalesced), FULL_MASK, 4, 128)))
+    });
+    c.bench_function("coalesce/scattered", |b| {
+        b.iter(|| black_box(coalesce(black_box(&scattered), FULL_MASK, 4, 128)))
+    });
+}
+
+fn bench_simt(c: &mut Criterion) {
+    c.bench_function("simt/divergent-loop-iteration", |b| {
+        b.iter(|| {
+            let mut s = SimtStack::new(FULL_MASK);
+            let mut live = FULL_MASK;
+            for i in 0..31u32 {
+                let leaving = 1u32 << i;
+                s.branch(leaving, live & !leaving, 100, 100);
+                live &= !leaving;
+                let _ = black_box(s.sync(0));
+                s.jump(0);
+            }
+            black_box(s.depth())
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache, bench_dram, bench_xbar, bench_coalesce, bench_simt);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Experiment CLI: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! exp --all               # run E1..E10 at Small scale
+//! exp e3 e5               # run a subset
+//! exp --quick --all       # Tiny scale (smoke test)
+//! exp --list              # show experiment ids
+//! ```
+//!
+//! Tables are printed and written as CSV under `results/`.
+
+use gpgpu_bench::experiments::{all_ids, run_experiment};
+use gpgpu_bench::Harness;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut run_all = false;
+    let mut ids: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--all" => run_all = true,
+            "--list" => {
+                for id in all_ids() {
+                    println!("{id}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: exp [--quick] (--all | e1 e2 ... e10)");
+                println!("  --quick  Tiny workloads (smoke test)");
+                println!("  --list   list experiment ids");
+                return ExitCode::SUCCESS;
+            }
+            id if id.starts_with('e') => ids.push(id.to_string()),
+            other => {
+                eprintln!("unknown argument {other:?}; try --help");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if run_all {
+        ids = all_ids().into_iter().map(String::from).collect();
+    }
+    if ids.is_empty() {
+        eprintln!("nothing to run; try --all or --help");
+        return ExitCode::FAILURE;
+    }
+
+    let h = if quick { Harness::quick() } else { Harness::default() };
+    let total = std::time::Instant::now();
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        let tables = run_experiment(id, &h);
+        for (i, table) in tables.iter().enumerate() {
+            println!("{table}");
+            let path = if tables.len() == 1 {
+                h.out_dir.join(format!("{id}.csv"))
+            } else {
+                h.out_dir.join(format!("{id}_{}.csv", (b'a' + i as u8) as char))
+            };
+            if let Err(e) = table.write_csv(&path) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            }
+        }
+        println!("[{id} took {:.1?}]\n", t0.elapsed());
+    }
+    println!("[all experiments took {:.1?}]", total.elapsed());
+    ExitCode::SUCCESS
+}

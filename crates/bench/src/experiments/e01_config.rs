@@ -1,0 +1,93 @@
+//! E1 — the simulated-machine configuration table (the paper's
+//! "simulation configuration" table).
+
+use crate::{Harness, Table};
+
+/// Emits the configuration table.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let g = &h.gpu;
+    let mut t = Table::new("E1: simulated GPU configuration", &["parameter", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("SM cores", g.num_cores.to_string()),
+        ("warp size", "32".into()),
+        ("max threads / SM", g.max_threads_per_core.to_string()),
+        ("max warps / SM", g.max_warps_per_core.to_string()),
+        ("max CTAs / SM", g.max_ctas_per_core.to_string()),
+        ("registers / SM", g.regfile_per_core.to_string()),
+        (
+            "shared memory / SM",
+            format!("{} KiB", g.smem_per_core / 1024),
+        ),
+        ("warp schedulers / SM", g.num_sched_per_core.to_string()),
+        (
+            "L1 data cache",
+            format!(
+                "{} KiB, {}-way, {} B lines, {} MSHRs",
+                g.l1.size_bytes / 1024,
+                g.l1.assoc,
+                g.l1.line_bytes,
+                g.l1.mshr_entries
+            ),
+        ),
+        ("L1 hit latency", format!("{} cycles", g.l1_latency)),
+        ("memory partitions", g.fabric.partitions.to_string()),
+        (
+            "L2 slice",
+            format!(
+                "{} KiB, {}-way ({} KiB total)",
+                g.fabric.l2.size_bytes / 1024,
+                g.fabric.l2.assoc,
+                g.fabric.l2.size_bytes / 1024 * g.fabric.partitions as u32
+            ),
+        ),
+        ("L2 hit latency", format!("{} cycles", g.fabric.l2_latency)),
+        (
+            "DRAM channel",
+            format!(
+                "{} banks, {} B rows, FR-FCFS",
+                g.fabric.dram.banks, g.fabric.dram.row_bytes
+            ),
+        ),
+        (
+            "DRAM timing (tRCD/tRP/tCAS/tBURST)",
+            format!(
+                "{}/{}/{}/{} cycles",
+                g.fabric.dram.t_rcd, g.fabric.dram.t_rp, g.fabric.dram.t_cas, g.fabric.dram.t_burst
+            ),
+        ),
+        (
+            "interconnect",
+            format!(
+                "crossbar, {}-cycle, {} B flits",
+                g.fabric.xbar_latency, g.fabric.xbar_flit_bytes
+            ),
+        ),
+        ("ALU latency (int/fp/sfu)", format!(
+            "{}/{}/{} cycles",
+            g.int_latency, g.fp_latency, g.sfu_latency
+        )),
+        (
+            "shared-memory latency",
+            format!("{} cycles + conflicts", g.shared_latency),
+        ),
+    ];
+    for (k, v) in rows {
+        t.push_row(vec![k.to_string(), v]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_table_renders() {
+        let tables = run(&Harness::quick());
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].len() > 10);
+        let s = tables[0].to_string();
+        assert!(s.contains("SM cores"));
+        assert!(s.contains("FR-FCFS"));
+    }
+}

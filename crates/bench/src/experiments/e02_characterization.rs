@@ -1,0 +1,71 @@
+//! E2 — workload characterization (the paper's benchmark table):
+//! class, launch geometry, occupancy limit, dynamic instructions, IPC at
+//! the hardware-maximum CTA count, and memory-system behaviour.
+
+use super::{r3, run_one};
+use crate::{Harness, Table};
+use gpgpu_sim::core_model::Core;
+use gpgpu_sim::GlobalMem;
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+/// Runs every suite member once under GTO + baseline and tabulates.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let mut t = Table::new(
+        "E2: workload characterization (GTO, baseline CTA scheduler, max CTAs)",
+        &[
+            "workload", "class", "ctas", "threads/cta", "hw-max-ctas/sm", "instructions",
+            "cycles", "ipc", "l1-miss", "l2-miss", "dram-row-hit",
+        ],
+    );
+    for mut w in gpgpu_workloads::suite(h.scale) {
+        // Geometry from a dry prepare (on scratch memory).
+        let mut scratch = GlobalMem::new();
+        let desc = w.prepare(&mut scratch);
+        let hw_max = Core::hw_max_ctas(&h.gpu, &desc);
+        let out = run_one(h, w.name(), WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let ks = out.stats.kernel(out.kernel).expect("kernel ran");
+        t.push_row(vec![
+            w.name().to_string(),
+            w.class().to_string(),
+            desc.cta_count().to_string(),
+            desc.threads_per_cta().to_string(),
+            hw_max.to_string(),
+            ks.instructions.to_string(),
+            ks.cycles().to_string(),
+            r3(ks.ipc()),
+            r3(out.stats.l1.miss_rate()),
+            r3(out.stats.fabric.l2.miss_rate()),
+            r3(out.stats.fabric.dram.row_hit_rate()),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterization_covers_suite() {
+        let tables = run(&Harness::quick());
+        assert_eq!(tables[0].len(), 14);
+        // Compute workloads must show higher IPC than memory workloads.
+        let classes: Vec<String> = (0..14).map(|i| tables[0].cell(i, 1).to_string()).collect();
+        let ipcs = tables[0].column_f64("ipc");
+        let avg = |c: &str| {
+            let v: Vec<f64> = classes
+                .iter()
+                .zip(&ipcs)
+                .filter(|(cl, _)| cl.as_str() == c)
+                .map(|(_, i)| *i)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            avg("C") > avg("M"),
+            "compute IPC ({}) must exceed memory IPC ({})",
+            avg("C"),
+            avg("M")
+        );
+    }
+}

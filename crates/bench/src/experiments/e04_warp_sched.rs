@@ -1,0 +1,55 @@
+//! E4 — warp-scheduler comparison (motivation): LRR vs GTO vs two-level
+//! under the baseline CTA scheduler, normalized to LRR. GTO is the
+//! reference point the paper's LCS builds on.
+
+use super::{all_names, r3, run_one};
+use crate::{Harness, Table};
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+/// Runs the whole suite under each warp scheduler.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let mut t = Table::new(
+        "E4: warp schedulers, IPC normalized to LRR (baseline CTA scheduler)",
+        &["workload", "class", "lrr-ipc", "gto", "two-level", "gto-wins"],
+    );
+    let mut gto_geomean = 1.0f64;
+    let mut n = 0u32;
+    for name in all_names(h) {
+        let class = gpgpu_workloads::by_name(&name, h.scale)
+            .expect("suite member")
+            .class();
+        let lrr = run_one(h, &name, WarpPolicy::Lrr, CtaPolicy::Baseline(None));
+        let gto = run_one(h, &name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let two = run_one(h, &name, WarpPolicy::TwoLevel(8), CtaPolicy::Baseline(None));
+        let gto_rel = lrr.cycles() as f64 / gto.cycles() as f64;
+        let two_rel = lrr.cycles() as f64 / two.cycles() as f64;
+        gto_geomean *= gto_rel;
+        n += 1;
+        t.push_row(vec![
+            name.clone(),
+            class.to_string(),
+            r3(lrr.ipc()),
+            r3(gto_rel),
+            r3(two_rel),
+            (gto_rel >= 1.0 && gto_rel >= two_rel).to_string(),
+        ]);
+    }
+    let mut summary = Table::new("E4 summary", &["metric", "value"]);
+    summary.push_row(vec![
+        "gto-vs-lrr-geomean".into(),
+        r3(gto_geomean.powf(1.0 / f64::from(n))),
+    ]);
+    vec![t, summary]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_covers_suite() {
+        let tables = run(&Harness::quick());
+        assert_eq!(tables[0].len(), 14);
+        assert_eq!(tables[1].len(), 1);
+    }
+}

@@ -1,0 +1,115 @@
+//! E5 — the LCS headline result: speedup of LCS over the baseline
+//! (hardware-maximum CTAs, GTO), compared with the static-*oracle* limit
+//! (best value from an offline sweep), plus the `lcs-lrr` ablation showing
+//! the estimate needs its greedy sensor scheduler.
+
+use super::{all_names, r3, run_one, LIMIT_SWEEP};
+use crate::{Harness, Table};
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+/// One row of the LCS experiment.
+#[derive(Debug, Clone)]
+pub struct LcsRow {
+    /// Workload name.
+    pub name: String,
+    /// Workload class.
+    pub class: String,
+    /// Baseline cycles (GTO, max CTAs).
+    pub base_cycles: u64,
+    /// LCS speedup over baseline.
+    pub lcs: f64,
+    /// Oracle (best static limit) speedup over baseline.
+    pub oracle: f64,
+    /// The oracle's limit.
+    pub oracle_limit: u32,
+    /// LCS-with-LRR-sensor speedup over the LRR baseline (ablation).
+    pub lcs_lrr: f64,
+    /// DYNCTA-style adaptive comparator speedup over baseline.
+    pub dyncta: f64,
+}
+
+/// Runs the LCS comparison for every suite member.
+pub fn rows(h: &Harness) -> Vec<LcsRow> {
+    let mut out = Vec::new();
+    for name in all_names(h) {
+        let class = gpgpu_workloads::by_name(&name, h.scale)
+            .expect("suite member")
+            .class()
+            .to_string();
+        let base = run_one(h, &name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let lcs = run_one(h, &name, WarpPolicy::Gto, CtaPolicy::Lcs(0.7));
+        // Oracle: best static limit (including "no limit" as the max).
+        let mut oracle = (u32::MAX, base.cycles()); // limit MAX = unlimited
+        for limit in LIMIT_SWEEP {
+            let o = run_one(h, &name, WarpPolicy::Gto, CtaPolicy::Baseline(Some(limit)));
+            if o.cycles() < oracle.1 {
+                oracle = (limit, o.cycles());
+            }
+        }
+        // Ablation: the same estimator fed by LRR issue counts.
+        let lrr_base = run_one(h, &name, WarpPolicy::Lrr, CtaPolicy::Baseline(None));
+        let lcs_lrr = run_one(h, &name, WarpPolicy::Lrr, CtaPolicy::Lcs(0.7));
+        // Related-work comparator: continuous adaptation.
+        let dyn_out = run_one(h, &name, WarpPolicy::Gto, CtaPolicy::Dyncta);
+        out.push(LcsRow {
+            name,
+            class,
+            base_cycles: base.cycles(),
+            lcs: base.cycles() as f64 / lcs.cycles() as f64,
+            oracle: base.cycles() as f64 / oracle.1 as f64,
+            oracle_limit: oracle.0,
+            lcs_lrr: lrr_base.cycles() as f64 / lcs_lrr.cycles() as f64,
+            dyncta: base.cycles() as f64 / dyn_out.cycles() as f64,
+        });
+    }
+    out
+}
+
+/// Tabulates [`rows`].
+pub fn run(h: &Harness) -> Vec<Table> {
+    let mut t = Table::new(
+        "E5: LCS speedup over baseline (GTO, max CTAs); oracle = best static limit",
+        &["workload", "class", "base-cycles", "lcs", "oracle", "oracle-limit", "lcs-lrr", "dyncta"],
+    );
+    let rs = rows(h);
+    let (mut g_lcs, mut g_oracle) = (1.0f64, 1.0f64);
+    for r in &rs {
+        g_lcs *= r.lcs;
+        g_oracle *= r.oracle;
+        let limit = if r.oracle_limit == u32::MAX {
+            "max".to_string()
+        } else {
+            r.oracle_limit.to_string()
+        };
+        t.push_row(vec![
+            r.name.clone(),
+            r.class.clone(),
+            r.base_cycles.to_string(),
+            r3(r.lcs),
+            r3(r.oracle),
+            limit,
+            r3(r.lcs_lrr),
+            r3(r.dyncta),
+        ]);
+    }
+    let n = rs.len() as f64;
+    let mut s = Table::new("E5 summary (geomean speedups)", &["metric", "value"]);
+    s.push_row(vec!["lcs-geomean".into(), r3(g_lcs.powf(1.0 / n))]);
+    s.push_row(vec!["oracle-geomean".into(), r3(g_oracle.powf(1.0 / n))]);
+    vec![t, s]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcs_experiment_shapes() {
+        let rs = rows(&Harness::quick());
+        assert_eq!(rs.len(), 14);
+        for r in &rs {
+            assert!(r.lcs > 0.5, "{}: LCS must not halve performance", r.name);
+            assert!(r.oracle >= 0.999, "{}: oracle can never lose to base", r.name);
+        }
+    }
+}

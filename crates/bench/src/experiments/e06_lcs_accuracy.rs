@@ -1,0 +1,102 @@
+//! E6 — how close LCS's online estimate gets to the oracle limit: the
+//! per-core limits LCS decided during the run versus the best static limit
+//! from an offline sweep.
+
+use super::{r3, run_one, LIMIT_SWEEP};
+use crate::{Harness, Table};
+use gpgpu_workloads::{by_name, run_workload_with_device};
+use tbs_core::{CtaPolicy, Lcs, WarpPolicy};
+
+/// Workloads shown in the accuracy table (one per class plus extremes).
+pub const ACCURACY_SUITE: [&str; 6] = [
+    "vecadd",
+    "stridedcopy",
+    "spmv-ell",
+    "gather",
+    "fmaheavy",
+    "matmul-tiled",
+];
+
+/// For each workload: run LCS, extract the decided per-core limits, and
+/// compare with the oracle.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let mut t = Table::new(
+        "E6: LCS-decided per-core CTA limit vs the static oracle",
+        &[
+            "workload", "hw-max", "lcs-min", "lcs-median", "lcs-max", "oracle-limit",
+            "oracle-speedup",
+        ],
+    );
+    for name in ACCURACY_SUITE {
+        // LCS run, keeping the device to read the decisions back.
+        let mut w = by_name(name, h.scale).expect("suite member");
+        let factory = WarpPolicy::Gto.factory();
+        let (_, gpu) = run_workload_with_device(
+            w.as_mut(),
+            h.gpu.clone(),
+            factory.as_ref(),
+            CtaPolicy::Lcs(0.7).scheduler(),
+            h.max_cycles,
+        )
+        .unwrap_or_else(|e| panic!("{name} under lcs: {e}"));
+        // Occupancy limit for context.
+        let mut scratch = gpgpu_sim::GlobalMem::new();
+        let desc = by_name(name, h.scale).expect("member").prepare(&mut scratch);
+        let hw_max = gpgpu_sim::core_model::Core::hw_max_ctas(&h.gpu, &desc);
+
+        let lcs = gpu
+            .cta_scheduler()
+            .as_any()
+            .and_then(|a| a.downcast_ref::<Lcs>())
+            .expect("scheduler is Lcs");
+        // The utilization guard reports u32::MAX ("keep the hardware
+        // maximum"); clamp for display.
+        let mut limits: Vec<u32> = lcs.decisions().map(|(_, l)| (*l).min(hw_max)).collect();
+        limits.sort_unstable();
+        let (lo, med, hi) = if limits.is_empty() {
+            (0, 0, 0)
+        } else {
+            (
+                limits[0],
+                limits[limits.len() / 2],
+                *limits.last().expect("nonempty"),
+            )
+        };
+
+        // Oracle from the static sweep.
+        let base = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let mut oracle = (u32::MAX, base.cycles());
+        for limit in LIMIT_SWEEP {
+            let o = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(Some(limit)));
+            if o.cycles() < oracle.1 {
+                oracle = (limit, o.cycles());
+            }
+        }
+        let oracle_limit = if oracle.0 == u32::MAX {
+            format!("max({hw_max})")
+        } else {
+            oracle.0.to_string()
+        };
+        t.push_row(vec![
+            name.to_string(),
+            hw_max.to_string(),
+            lo.to_string(),
+            med.to_string(),
+            hi.to_string(),
+            oracle_limit,
+            r3(base.cycles() as f64 / oracle.1 as f64),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_table_builds() {
+        let tables = run(&Harness::quick());
+        assert_eq!(tables[0].len(), ACCURACY_SUITE.len());
+    }
+}

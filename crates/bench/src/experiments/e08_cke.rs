@@ -1,0 +1,81 @@
+//! E8 — concurrent kernel execution: memory-intensive × compute-intensive
+//! kernel pairs under serial execution, leftover (core-exclusive) CKE, and
+//! the paper's mixed CKE. Mixed CKE co-locates both kernels on every core,
+//! using LCS to size the memory kernel's share.
+
+use super::r3;
+use crate::{Harness, Table};
+use gpgpu_workloads::{by_name, run_pair};
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+/// The kernel pairs (memory-side, compute-side).
+pub const PAIRS: [(&str, &str); 4] = [
+    ("vecadd", "fmaheavy"),
+    ("spmv-ell", "fmaheavy"),
+    ("gather", "kmeansdist"),
+    ("saxpy", "matmul-naive"),
+];
+
+fn run_mode(h: &Harness, a: &str, b: &str, cta: CtaPolicy, serial: bool) -> u64 {
+    let mut wa = by_name(a, h.scale).expect("suite member");
+    let mut wb = by_name(b, h.scale).expect("suite member");
+    let factory = WarpPolicy::Gto.factory();
+    let (stats, _, _) = run_pair(
+        wa.as_mut(),
+        wb.as_mut(),
+        h.gpu.clone(),
+        factory.as_ref(),
+        cta.scheduler(),
+        serial,
+        h.max_cycles,
+    )
+    .unwrap_or_else(|e| panic!("pair {a}+{b}: {e}"));
+    stats.cycles
+}
+
+/// Runs each pair in the three regimes; reports total time to finish both
+/// kernels, normalized to serial.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let mut t = Table::new(
+        "E8: concurrent kernel execution (total cycles for both kernels)",
+        &[
+            "pair", "serial-cycles", "leftover-speedup", "mixed-speedup", "mixed-vs-leftover",
+        ],
+    );
+    let mut geo = 1.0f64;
+    for (a, b) in PAIRS {
+        let serial = run_mode(h, a, b, CtaPolicy::Baseline(None), true);
+        let leftover = run_mode(h, a, b, CtaPolicy::LeftoverCke, false);
+        let mixed = run_mode(h, a, b, CtaPolicy::MixedCke(0.7), false);
+        let s_leftover = serial as f64 / leftover as f64;
+        let s_mixed = serial as f64 / mixed as f64;
+        geo *= s_mixed;
+        t.push_row(vec![
+            format!("{a}+{b}"),
+            serial.to_string(),
+            r3(s_leftover),
+            r3(s_mixed),
+            r3(leftover as f64 / mixed as f64),
+        ]);
+    }
+    let mut s = Table::new("E8 summary", &["metric", "value"]);
+    s.push_row(vec![
+        "mixed-vs-serial-geomean".into(),
+        r3(geo.powf(1.0 / PAIRS.len() as f64)),
+    ]);
+    vec![t, s]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cke_table_builds() {
+        let tables = run(&Harness::quick());
+        assert_eq!(tables[0].len(), PAIRS.len());
+        for v in tables[0].column_f64("mixed-speedup") {
+            assert!(v > 0.5, "mixed CKE must not catastrophically regress");
+        }
+    }
+}

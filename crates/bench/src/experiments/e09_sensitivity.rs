@@ -1,0 +1,59 @@
+//! E9 — sensitivity of the two mechanisms to their single knob each:
+//! LCS's issue-count threshold `gamma` and BCS's block size.
+
+use super::{r3, run_one};
+use crate::{Harness, Table};
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+/// `gamma` values swept.
+pub const GAMMAS: [f64; 5] = [0.5, 0.6, 0.7, 0.8, 0.9];
+/// Block sizes swept.
+pub const BLOCKS: [u32; 3] = [1, 2, 4];
+
+const LCS_SUITE: [&str; 4] = ["vecadd", "spmv-ell", "gather", "fmaheavy"];
+const BCS_SUITE: [&str; 3] = ["stencil2d", "hotspot", "vecadd"];
+
+/// Sweeps both knobs; speedups are relative to the GTO baseline.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let mut cols: Vec<String> = vec!["workload".into()];
+    cols.extend(GAMMAS.iter().map(|g| format!("gamma-{g}")));
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t1 = Table::new("E9a: LCS speedup vs gamma", &col_refs);
+    for name in LCS_SUITE {
+        let base = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let mut row = vec![name.to_string()];
+        for gamma in GAMMAS {
+            let out = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Lcs(gamma));
+            row.push(r3(base.cycles() as f64 / out.cycles() as f64));
+        }
+        t1.push_row(row);
+    }
+
+    let mut cols: Vec<String> = vec!["workload".into()];
+    cols.extend(BLOCKS.iter().map(|b| format!("block-{b}")));
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t2 = Table::new("E9b: BCS+BAWS speedup vs block size", &col_refs);
+    for name in BCS_SUITE {
+        let base = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let mut row = vec![name.to_string()];
+        for b in BLOCKS {
+            let out = run_one(h, name, WarpPolicy::Baws(b), CtaPolicy::Bcs(b));
+            row.push(r3(base.cycles() as f64 / out.cycles() as f64));
+        }
+        t2.push_row(row);
+    }
+    vec![t1, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_tables_build() {
+        let tables = run(&Harness::quick());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), LCS_SUITE.len());
+        assert_eq!(tables[1].len(), BCS_SUITE.len());
+    }
+}

@@ -1,0 +1,46 @@
+//! E10 — L1-capacity sensitivity: LCS's benefit should shrink as the L1
+//! grows (more resident CTAs fit without thrashing).
+
+use super::{r3, run_one_cfg};
+use crate::{Harness, Table};
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+/// L1 capacities swept, in KiB.
+pub const L1_SIZES_KIB: [u32; 3] = [16, 32, 48];
+
+const SUITE: [&str; 3] = ["spmv-ell", "vecadd", "matmul-naive"];
+
+/// Sweeps the L1 size and reports baseline IPC and LCS speedup at each.
+pub fn run(h: &Harness) -> Vec<Table> {
+    let mut cols: Vec<String> = vec!["workload".into()];
+    for s in L1_SIZES_KIB {
+        cols.push(format!("base-ipc-{s}k"));
+        cols.push(format!("lcs-speedup-{s}k"));
+    }
+    let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+    let mut t = Table::new("E10: L1 capacity sensitivity", &col_refs);
+    for name in SUITE {
+        let mut row = vec![name.to_string()];
+        for size in L1_SIZES_KIB {
+            let mut gpu = h.gpu.clone();
+            gpu.l1.size_bytes = size * 1024;
+            let base = run_one_cfg(h, gpu.clone(), name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
+            let lcs = run_one_cfg(h, gpu, name, WarpPolicy::Gto, CtaPolicy::Lcs(0.7));
+            row.push(r3(base.ipc()));
+            row.push(r3(base.cycles() as f64 / lcs.cycles() as f64));
+        }
+        t.push_row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_sweep_builds() {
+        let tables = run(&Harness::quick());
+        assert_eq!(tables[0].len(), SUITE.len());
+    }
+}

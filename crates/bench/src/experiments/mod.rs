@@ -1,0 +1,96 @@
+//! The reconstructed evaluation, experiment by experiment (E1–E10).
+//!
+//! Each experiment regenerates one table/figure of the paper's evaluation
+//! (see `DESIGN.md` for the index and `EXPERIMENTS.md` for measured
+//! results and the expected shapes). Every experiment returns one or more
+//! [`Table`]s; the `exp` binary prints them and writes CSVs.
+
+pub mod e01_config;
+pub mod e02_characterization;
+pub mod e03_cta_sweep;
+pub mod e04_warp_sched;
+pub mod e05_lcs;
+pub mod e06_lcs_accuracy;
+pub mod e07_bcs;
+pub mod e08_cke;
+pub mod e09_sensitivity;
+pub mod e10_cache_size;
+
+use crate::{Harness, Table};
+use gpgpu_workloads::{by_name, run_workload, RunOutcome};
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+/// All experiment ids, in order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
+}
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id or if a simulation fails (experiments are
+/// expected to complete).
+pub fn run_experiment(id: &str, h: &Harness) -> Vec<Table> {
+    match id {
+        "e1" => e01_config::run(h),
+        "e2" => e02_characterization::run(h),
+        "e3" => e03_cta_sweep::run(h),
+        "e4" => e04_warp_sched::run(h),
+        "e5" => e05_lcs::run(h),
+        "e6" => e06_lcs_accuracy::run(h),
+        "e7" => e07_bcs::run(h),
+        "e8" => e08_cke::run(h),
+        "e9" => e09_sensitivity::run(h),
+        "e10" => e10_cache_size::run(h),
+        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
+    }
+}
+
+/// Runs `name` under the given policies with the harness GPU config.
+/// Panics on simulation or verification failure — an experiment must not
+/// silently report a broken run.
+pub(crate) fn run_one(h: &Harness, name: &str, warp: WarpPolicy, cta: CtaPolicy) -> RunOutcome {
+    run_one_cfg(h, h.gpu.clone(), name, warp, cta)
+}
+
+/// As [`run_one`] with an explicit GPU config (for configuration sweeps).
+pub(crate) fn run_one_cfg(
+    h: &Harness,
+    gpu: gpgpu_sim::GpuConfig,
+    name: &str,
+    warp: WarpPolicy,
+    cta: CtaPolicy,
+) -> RunOutcome {
+    let mut w = by_name(name, h.scale)
+        .unwrap_or_else(|| panic!("unknown workload {name:?}"));
+    let factory = warp.factory();
+    run_workload(w.as_mut(), gpu, factory.as_ref(), cta.scheduler(), h.max_cycles)
+        .unwrap_or_else(|e| panic!("{name} under {warp}/{cta}: {e}"))
+}
+
+/// Formats a ratio like `1.234`.
+pub(crate) fn r3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// The static-limit sweep values used by E3/E5/E6.
+pub(crate) const LIMIT_SWEEP: [u32; 6] = [1, 2, 3, 4, 6, 8];
+
+/// Workload names used by the locality-focused experiments.
+pub(crate) const LOCALITY_SUITE: [&str; 6] = [
+    "stencil2d",
+    "hotspot",
+    "vecadd",
+    "saxpy",
+    "transpose",
+    "matmul-naive",
+];
+
+/// All 14 workload names in suite order.
+pub(crate) fn all_names(h: &Harness) -> Vec<String> {
+    gpgpu_workloads::suite(h.scale)
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect()
+}

@@ -1,0 +1,192 @@
+//! Result tables: pretty terminal rendering plus CSV output.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table with named columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given title and column names.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Convenience: appends a row of displayable values.
+    pub fn push<T: fmt::Display>(&mut self, cells: &[T]) {
+        self.push_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// The value at (row, col) as a string.
+    pub fn cell(&self, row: usize, col: usize) -> &str {
+        &self.rows[row][col]
+    }
+
+    /// Looks up the column index by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Parses a column as `f64` (non-numeric cells become NaN).
+    pub fn column_f64(&self, name: &str) -> Vec<f64> {
+        let idx = self.column_index(name).expect("column exists");
+        self.rows
+            .iter()
+            .map(|r| r[idx].parse().unwrap_or(f64::NAN))
+            .collect()
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the file.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut out = String::new();
+        out.push_str(&csv_row(&self.columns));
+        for r in &self.rows {
+            out.push_str(&csv_row(r));
+        }
+        std::fs::write(path, out)
+    }
+}
+
+fn csv_row(cells: &[String]) -> String {
+    let quoted: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            if c.contains([',', '"', '\n']) {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect();
+    format!("{}\n", quoted.join(","))
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        writeln!(f, "{}", header.join("  "))?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            let row: Vec<String> = r
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            writeln!(f, "{}", row.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = Table::new("demo", &["name", "ipc"]);
+        t.push(&["vecadd", "1.25"]);
+        t.push(&["saxpy", "0.75"]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell(0, 1), "1.25");
+        let s = t.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("vecadd"));
+    }
+
+    #[test]
+    fn column_parse() {
+        let mut t = Table::new("demo", &["w", "x"]);
+        t.push(&["a", "1.5"]);
+        t.push(&["b", "oops"]);
+        let xs = t.column_f64("x");
+        assert_eq!(xs[0], 1.5);
+        assert!(xs[1].is_nan());
+        assert_eq!(t.column_index("w"), Some(0));
+        assert_eq!(t.column_index("zz"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_row_rejected() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(csv_row(&["a,b".into(), "c\"d".into()]), "\"a,b\",\"c\"\"d\"\n");
+        assert_eq!(csv_row(&["plain".into()]), "plain\n");
+    }
+
+    #[test]
+    fn csv_round_trip_to_disk() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push(&["1", "2"]);
+        let dir = std::env::temp_dir().join("tbs_table_test");
+        let path = dir.join("t.csv");
+        t.write_csv(&path).expect("writable");
+        let s = std::fs::read_to_string(&path).expect("readable");
+        assert_eq!(s, "a,b\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,173 @@
+//! BCS — block CTA scheduling (the paper's second mechanism).
+//!
+//! Consecutive CTAs frequently touch adjacent data: row-neighbouring tiles
+//! in dense kernels, shared halo regions in stencils, the same DRAM rows in
+//! streaming kernels. The baseline round-robin dispatcher scatters
+//! consecutive CTAs across cores, turning that sharing into cross-core
+//! redundancy. BCS instead dispatches *blocks* of `block_size` consecutive
+//! CTAs to one core, waiting until the core has room for the whole block.
+//!
+//! BCS is paired with the block-aware warp scheduler
+//! ([`Baws`](crate::warp_sched::Baws)), which keeps the CTAs of a block
+//! advancing together so their shared lines are touched close in time.
+
+use gpgpu_sim::{CtaScheduler, Dispatch, DispatchView};
+
+/// The BCS CTA scheduler.
+#[derive(Debug)]
+pub struct Bcs {
+    block_size: u32,
+    cursor: usize,
+}
+
+impl Bcs {
+    /// BCS with the paper's default block size of 2.
+    pub fn new() -> Self {
+        Self::with_block_size(2)
+    }
+
+    /// BCS with an explicit block size (the E9 sensitivity knob;
+    /// `block_size = 1` degenerates to the round-robin baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is 0.
+    pub fn with_block_size(block_size: u32) -> Self {
+        assert!(block_size >= 1, "block size must be at least 1");
+        Bcs {
+            block_size,
+            cursor: 0,
+        }
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> u32 {
+        self.block_size
+    }
+}
+
+impl Default for Bcs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CtaScheduler for Bcs {
+    fn name(&self) -> &str {
+        "bcs"
+    }
+
+    fn select(&mut self, view: &DispatchView<'_>) -> Option<Dispatch> {
+        let n = view.num_cores();
+        for k in view.kernels() {
+            // The tail of the grid may be smaller than a block.
+            let want = self.block_size.min(k.remaining.min(u64::from(u32::MAX)) as u32);
+            if want == 0 {
+                continue;
+            }
+            for i in 0..n {
+                let core = (self.cursor + i) % n;
+                // Wait for room for the WHOLE block: partial placement
+                // would split consecutive CTAs across cores.
+                if view.core(core).capacity_for(k.id) < want {
+                    continue;
+                }
+                self.cursor = (core + 1) % n;
+                return Some(Dispatch {
+                    core,
+                    kernel: k.id,
+                    count: want,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_sim::{CoreDispatchInfo, KernelId, KernelSummary};
+
+    fn summary(remaining: u64) -> Vec<KernelSummary> {
+        vec![KernelSummary {
+            id: KernelId(0),
+            next_cta: 0,
+            remaining,
+            total_ctas: remaining,
+            warps_per_cta: 4,
+        }]
+    }
+
+    fn cores(caps: &[u32]) -> Vec<CoreDispatchInfo> {
+        caps.iter()
+            .map(|&cap| CoreDispatchInfo {
+                cta_count: 8 - cap.min(8),
+                kernel_ctas: vec![(KernelId(0), 8 - cap.min(8))],
+                capacity: vec![(KernelId(0), cap)],
+                completed: vec![(KernelId(0), 0)],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatches_whole_blocks() {
+        let kernels = summary(100);
+        let infos = cores(&[8, 8]);
+        let view = DispatchView::new(0, &kernels, &infos);
+        let mut b = Bcs::new();
+        let d = b.select(&view).unwrap();
+        assert_eq!(d.count, 2);
+        assert_eq!(d.core, 0);
+        let d = b.select(&view).unwrap();
+        assert_eq!(d.core, 1, "round-robins across cores");
+    }
+
+    #[test]
+    fn waits_for_room_for_full_block() {
+        let kernels = summary(100);
+        let infos = cores(&[1, 1]);
+        let view = DispatchView::new(0, &kernels, &infos);
+        let mut b = Bcs::new();
+        assert_eq!(b.select(&view), None, "1 free slot < block of 2");
+        let infos = cores(&[1, 2]);
+        let view = DispatchView::new(0, &kernels, &infos);
+        assert_eq!(b.select(&view).unwrap().core, 1);
+    }
+
+    #[test]
+    fn tail_smaller_than_block_still_dispatches() {
+        let kernels = summary(1);
+        let infos = cores(&[8]);
+        let view = DispatchView::new(0, &kernels, &infos);
+        let mut b = Bcs::new();
+        let d = b.select(&view).unwrap();
+        assert_eq!(d.count, 1);
+    }
+
+    #[test]
+    fn block_size_one_is_round_robin() {
+        let kernels = summary(100);
+        let infos = cores(&[8, 8, 8]);
+        let view = DispatchView::new(0, &kernels, &infos);
+        let mut b = Bcs::with_block_size(1);
+        let picks: Vec<usize> = (0..3).map(|_| b.select(&view).unwrap().core).collect();
+        assert_eq!(picks, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn larger_blocks() {
+        let kernels = summary(100);
+        let infos = cores(&[3, 4]);
+        let view = DispatchView::new(0, &kernels, &infos);
+        let mut b = Bcs::with_block_size(4);
+        let d = b.select(&view).unwrap();
+        assert_eq!((d.core, d.count), (1, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn zero_block_rejected() {
+        let _ = Bcs::with_block_size(0);
+    }
+}

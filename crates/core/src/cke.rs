@@ -1,0 +1,247 @@
+//! Concurrent kernel execution (CKE) policies (the paper's third
+//! mechanism).
+//!
+//! LCS shows that the hardware-maximum CTA count is often wasteful; the
+//! slots and resources it frees can host CTAs of a *different* kernel on
+//! the *same* core. The paper compares three regimes:
+//!
+//! * **Serial** — one kernel at a time (expressed with
+//!   [`GpuDevice::launch_after`](gpgpu_sim::GpuDevice::launch_after); no
+//!   policy type needed).
+//! * **Leftover CKE** ([`LeftoverCke`]) — the NVIDIA-style comparator:
+//!   kernels share the GPU only at *core* granularity; a core hosts CTAs
+//!   of one kernel at a time, and a later kernel receives only the cores
+//!   the earlier one does not occupy.
+//! * **Mixed CKE** ([`MixedCke`]) — the paper's proposal: LCS decides how
+//!   many CTAs the leading kernel actually needs per core, and the
+//!   remaining per-core slots/resources are filled with the trailing
+//!   kernel's CTAs, mixing (typically) a memory-intensive kernel with a
+//!   compute-intensive one on every core.
+
+use crate::lcs::Lcs;
+use gpgpu_sim::{CtaCompleteEvent, CtaScheduler, Dispatch, DispatchView, KernelId};
+
+/// Core-granular ("leftover") concurrent kernel execution: a core hosts
+/// CTAs of at most one kernel at a time, earlier launches first.
+#[derive(Debug)]
+pub struct LeftoverCke {
+    cursor: usize,
+}
+
+impl LeftoverCke {
+    /// A fresh leftover-CKE scheduler.
+    pub fn new() -> Self {
+        LeftoverCke { cursor: 0 }
+    }
+}
+
+impl Default for LeftoverCke {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CtaScheduler for LeftoverCke {
+    fn name(&self) -> &str {
+        "leftover-cke"
+    }
+
+    fn select(&mut self, view: &DispatchView<'_>) -> Option<Dispatch> {
+        let n = view.num_cores();
+        for k in view.kernels() {
+            if k.remaining == 0 {
+                continue;
+            }
+            for i in 0..n {
+                let core = (self.cursor + i) % n;
+                let info = view.core(core);
+                // Exclusive cores: skip cores hosting any other kernel.
+                if info.cta_count > info.ctas_of(k.id) {
+                    continue;
+                }
+                if info.capacity_for(k.id) == 0 {
+                    continue;
+                }
+                self.cursor = (core + 1) % n;
+                return Some(Dispatch {
+                    core,
+                    kernel: k.id,
+                    count: 1,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Mixed concurrent kernel execution: LCS throttling for every running
+/// kernel, with later kernels filling the per-core slots earlier kernels
+/// do not need.
+///
+/// Mechanically this is LCS's dispatch rule applied across the whole
+/// kernel queue — the leading kernel monopolizes cores during its
+/// monitoring period, then shrinks to its estimated limit, and the
+/// trailing kernel's CTAs flow into the freed slots of the *same* cores.
+#[derive(Debug)]
+pub struct MixedCke {
+    inner: Lcs,
+}
+
+impl MixedCke {
+    /// Mixed CKE with the default LCS threshold (`gamma = 0.7`).
+    pub fn new() -> Self {
+        MixedCke { inner: Lcs::new() }
+    }
+
+    /// Mixed CKE with an explicit LCS threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 < gamma <= 1.0`.
+    pub fn with_gamma(gamma: f64) -> Self {
+        MixedCke {
+            inner: Lcs::with_gamma(gamma),
+        }
+    }
+
+    /// The per-core CTA limit decided for `(core, kernel)`, if any.
+    pub fn limit_of(&self, core: usize, kernel: KernelId) -> Option<u32> {
+        self.inner.limit_of(core, kernel)
+    }
+}
+
+impl Default for MixedCke {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CtaScheduler for MixedCke {
+    fn name(&self) -> &str {
+        "mixed-cke"
+    }
+
+    fn on_cta_complete(&mut self, ev: &CtaCompleteEvent) {
+        self.inner.on_cta_complete(ev);
+    }
+
+    fn on_kernel_finish(&mut self, kernel: KernelId) {
+        self.inner.on_kernel_finish(kernel);
+    }
+
+    fn select(&mut self, view: &DispatchView<'_>) -> Option<Dispatch> {
+        self.inner.select(view)
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_sim::{CoreDispatchInfo, CtaIssueSample, KernelSummary};
+
+    fn two_kernels(rem0: u64, rem1: u64) -> Vec<KernelSummary> {
+        [(0, rem0), (1, rem1)]
+            .into_iter()
+            .map(|(id, remaining)| KernelSummary {
+                id: KernelId(id),
+                next_cta: 0,
+                remaining,
+                total_ctas: remaining,
+                warps_per_cta: 4,
+            })
+            .collect()
+    }
+
+    fn info(k0: u32, k1: u32, cap0: u32, cap1: u32) -> CoreDispatchInfo {
+        CoreDispatchInfo {
+            cta_count: k0 + k1,
+            kernel_ctas: vec![(KernelId(0), k0), (KernelId(1), k1)],
+            capacity: vec![(KernelId(0), cap0), (KernelId(1), cap1)],
+            completed: vec![(KernelId(0), 0), (KernelId(1), 0)],
+        }
+    }
+
+    #[test]
+    fn leftover_keeps_cores_exclusive() {
+        let kernels = two_kernels(0, 100); // kernel 0 fully dispatched
+        // Core 0 hosts kernel-0 CTAs; core 1 is empty.
+        let infos = vec![info(4, 0, 4, 4), info(0, 0, 8, 8)];
+        let view = DispatchView::new(0, &kernels, &infos);
+        let mut s = LeftoverCke::new();
+        let d = s.select(&view).unwrap();
+        assert_eq!(d.kernel, KernelId(1));
+        assert_eq!(d.core, 1, "kernel 1 may not enter core 0");
+    }
+
+    #[test]
+    fn leftover_prioritizes_earlier_kernel() {
+        let kernels = two_kernels(10, 10);
+        let infos = vec![info(0, 0, 8, 8)];
+        let view = DispatchView::new(0, &kernels, &infos);
+        let mut s = LeftoverCke::new();
+        assert_eq!(s.select(&view).unwrap().kernel, KernelId(0));
+    }
+
+    #[test]
+    fn leftover_blocks_when_all_cores_taken() {
+        let kernels = two_kernels(0, 100);
+        let infos = vec![info(4, 0, 4, 4)];
+        let view = DispatchView::new(0, &kernels, &infos);
+        let mut s = LeftoverCke::new();
+        assert_eq!(s.select(&view), None);
+    }
+
+    #[test]
+    fn mixed_fills_throttled_cores_with_second_kernel() {
+        let mut s = MixedCke::new();
+        // Kernel 0's first CTA completes on core 0 with a memory-bound
+        // profile: limit 1.
+        // Long window => low issue utilization => the guard stays out of
+        // the way and the skew throttles.
+        s.on_cta_complete(&CtaCompleteEvent {
+            core: 0,
+            kernel: KernelId(0),
+            cta_id: 0,
+            cycle: 100_000,
+            completed_on_core: 1,
+            core_kernel_issued: 0,
+            slot_snapshot: vec![
+                CtaIssueSample {
+                    kernel: KernelId(0),
+                    cta_id: 0,
+                    issued: 1000,
+                    running: false,
+                },
+                CtaIssueSample {
+                    kernel: KernelId(0),
+                    cta_id: 1,
+                    issued: 3,
+                    running: true,
+                },
+            ],
+        });
+        assert_eq!(s.limit_of(0, KernelId(0)), Some(1));
+        // Core 0 holds 1 CTA of kernel 0 (at its limit) and has room:
+        // kernel 1 gets the leftover slots of the SAME core.
+        let kernels = two_kernels(100, 100);
+        let infos = vec![info(1, 0, 7, 7)];
+        let view = DispatchView::new(0, &kernels, &infos);
+        let d = s.select(&view).unwrap();
+        assert_eq!(d.kernel, KernelId(1));
+        assert_eq!(d.core, 0);
+    }
+
+    #[test]
+    fn mixed_monitoring_gives_lead_kernel_everything() {
+        let mut s = MixedCke::new();
+        let kernels = two_kernels(100, 100);
+        let infos = vec![info(3, 0, 5, 5)];
+        let view = DispatchView::new(0, &kernels, &infos);
+        let d = s.select(&view).unwrap();
+        assert_eq!(d.kernel, KernelId(0), "monitoring phase: no mixing yet");
+    }
+}

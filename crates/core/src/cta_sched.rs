@@ -1,0 +1,166 @@
+//! The baseline CTA scheduler: round-robin placement up to the hardware
+//! occupancy limit, with an optional static per-core CTA limit (used for
+//! the motivation sweep that shows "max CTAs is not always best").
+
+use gpgpu_sim::{CtaScheduler, Dispatch, DispatchView};
+
+/// GPGPU-Sim-style baseline: cores are filled breadth-first in round-robin
+/// order; when a CTA retires, the freed slot is refilled immediately. With
+/// multiple running kernels, CTAs of earlier-launched kernels are placed
+/// first (later kernels only receive slots the earlier ones no longer
+/// need — the temporal "leftover" behaviour).
+///
+/// `limit` optionally caps resident CTAs per core per kernel *statically*;
+/// the paper's motivation experiment sweeps this knob, and LCS finds it
+/// dynamically.
+#[derive(Debug)]
+pub struct RoundRobinCta {
+    cursor: usize,
+    limit: Option<u32>,
+}
+
+impl RoundRobinCta {
+    /// The unlimited baseline (hardware occupancy limit applies).
+    pub fn new() -> Self {
+        RoundRobinCta {
+            cursor: 0,
+            limit: None,
+        }
+    }
+
+    /// A baseline with a static per-core CTA limit per kernel.
+    pub fn with_limit(limit: u32) -> Self {
+        RoundRobinCta {
+            cursor: 0,
+            limit: Some(limit.max(1)),
+        }
+    }
+
+    /// The static limit, if any.
+    pub fn limit(&self) -> Option<u32> {
+        self.limit
+    }
+}
+
+impl Default for RoundRobinCta {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CtaScheduler for RoundRobinCta {
+    fn name(&self) -> &str {
+        "rr"
+    }
+
+    fn select(&mut self, view: &DispatchView<'_>) -> Option<Dispatch> {
+        let n = view.num_cores();
+        for k in view.kernels() {
+            if k.remaining == 0 {
+                continue;
+            }
+            for i in 0..n {
+                let core = (self.cursor + i) % n;
+                let info = view.core(core);
+                if info.capacity_for(k.id) == 0 {
+                    continue;
+                }
+                if let Some(lim) = self.limit {
+                    if info.ctas_of(k.id) >= lim {
+                        continue;
+                    }
+                }
+                self.cursor = (core + 1) % n;
+                return Some(Dispatch {
+                    core,
+                    kernel: k.id,
+                    count: 1,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_sim::{CoreDispatchInfo, KernelId, KernelSummary};
+
+    pub(crate) fn summary(id: usize, remaining: u64) -> KernelSummary {
+        KernelSummary {
+            id: KernelId(id),
+            next_cta: 0,
+            remaining,
+            total_ctas: remaining,
+            warps_per_cta: 4,
+        }
+    }
+
+    pub(crate) fn core_info(kernel: usize, ctas: u32, capacity: u32) -> CoreDispatchInfo {
+        CoreDispatchInfo {
+            cta_count: ctas,
+            kernel_ctas: vec![(KernelId(kernel), ctas)],
+            capacity: vec![(KernelId(kernel), capacity)],
+            completed: vec![(KernelId(kernel), 0)],
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_cores() {
+        let kernels = vec![summary(0, 100)];
+        let cores = vec![
+            core_info(0, 0, 8),
+            core_info(0, 0, 8),
+            core_info(0, 0, 8),
+        ];
+        let view = DispatchView::new(0, &kernels, &cores);
+        let mut s = RoundRobinCta::new();
+        let picks: Vec<usize> = (0..6)
+            .map(|_| s.select(&view).expect("capacity available").core)
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn skips_full_cores() {
+        let kernels = vec![summary(0, 100)];
+        let cores = vec![core_info(0, 8, 0), core_info(0, 3, 5)];
+        let view = DispatchView::new(0, &kernels, &cores);
+        let mut s = RoundRobinCta::new();
+        assert_eq!(s.select(&view).unwrap().core, 1);
+    }
+
+    #[test]
+    fn static_limit_blocks_dispatch() {
+        let kernels = vec![summary(0, 100)];
+        let cores = vec![core_info(0, 2, 6)];
+        let view = DispatchView::new(0, &kernels, &cores);
+        let mut s = RoundRobinCta::with_limit(2);
+        assert_eq!(s.select(&view), None, "limit of 2 already reached");
+        let mut s = RoundRobinCta::with_limit(3);
+        assert!(s.select(&view).is_some());
+    }
+
+    #[test]
+    fn earlier_kernel_has_priority() {
+        let kernels = vec![summary(0, 10), summary(1, 10)];
+        let cores = vec![CoreDispatchInfo {
+            cta_count: 0,
+            kernel_ctas: vec![(KernelId(0), 0), (KernelId(1), 0)],
+            capacity: vec![(KernelId(0), 4), (KernelId(1), 4)],
+            completed: vec![(KernelId(0), 0), (KernelId(1), 0)],
+        }];
+        let view = DispatchView::new(0, &kernels, &cores);
+        let mut s = RoundRobinCta::new();
+        assert_eq!(s.select(&view).unwrap().kernel, KernelId(0));
+    }
+
+    #[test]
+    fn nothing_to_dispatch_returns_none() {
+        let kernels: Vec<KernelSummary> = vec![];
+        let cores = vec![core_info(0, 0, 8)];
+        let view = DispatchView::new(0, &kernels, &cores);
+        assert_eq!(RoundRobinCta::new().select(&view), None);
+    }
+}

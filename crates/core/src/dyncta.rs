@@ -1,0 +1,252 @@
+//! A DYNCTA-style adaptive comparator (extension).
+//!
+//! The paper's related work includes dynamic CTA throttling that *adapts
+//! continuously* instead of deciding once (Kayıran et al., "Neither More
+//! nor Less", PACT 2013). This module provides such a comparator so the
+//! harness can put LCS's one-shot decision in context: a per-core
+//! hill-climber on issue-slot utilization.
+//!
+//! Mechanism: each CTA completion on a core closes a measurement window.
+//! The core's issue-slot utilization over the window classifies it as
+//! memory-starved (`util < t_low` → lower the CTA target), healthy, or
+//! issue-hungry (`util > t_high` → raise the target). Targets move by one
+//! CTA at a time and are enforced lazily, exactly like LCS.
+
+use crate::lcs::issue_utilization;
+use gpgpu_sim::{
+    CtaCompleteEvent, CtaScheduler, Cycle, Dispatch, DispatchView, KernelId,
+};
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, Copy)]
+struct CoreState {
+    target: u32,
+    last_cycle: Cycle,
+    last_issued: u64,
+}
+
+/// The adaptive CTA throttler. See the module docs for the mechanism.
+#[derive(Debug)]
+pub struct Dyncta {
+    t_low: f64,
+    t_high: f64,
+    min_window: Cycle,
+    sched_per_core: u32,
+    hw_max: u32,
+    cursor: usize,
+    states: BTreeMap<(usize, KernelId), CoreState>,
+}
+
+impl Dyncta {
+    /// Default thresholds: lower the target below 0.35 utilization, raise
+    /// it above 0.70.
+    pub fn new() -> Self {
+        Self::with_thresholds(0.35, 0.70)
+    }
+
+    /// Explicit thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= t_low < t_high <= 1.0`.
+    pub fn with_thresholds(t_low: f64, t_high: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&t_low) && (0.0..=1.0).contains(&t_high) && t_low < t_high,
+            "need 0 <= t_low < t_high <= 1"
+        );
+        Dyncta {
+            t_low,
+            t_high,
+            min_window: 1000,
+            sched_per_core: 2,
+            hw_max: 8,
+            cursor: 0,
+            states: BTreeMap::new(),
+        }
+    }
+
+    /// The current CTA target for `(core, kernel)`, if adaptation has
+    /// started there.
+    pub fn target_of(&self, core: usize, kernel: KernelId) -> Option<u32> {
+        self.states.get(&(core, kernel)).map(|s| s.target)
+    }
+}
+
+impl Default for Dyncta {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CtaScheduler for Dyncta {
+    fn name(&self) -> &str {
+        "dyncta"
+    }
+
+    fn on_kernel_launch(
+        &mut self,
+        _kernel: KernelId,
+        _desc: &gpgpu_isa::KernelDescriptor,
+        hw: &gpgpu_sim::GpuConfig,
+    ) {
+        self.sched_per_core = hw.num_sched_per_core;
+        self.hw_max = hw.max_ctas_per_core;
+    }
+
+    fn on_cta_complete(&mut self, ev: &CtaCompleteEvent) {
+        let key = (ev.core, ev.kernel);
+        let state = self.states.entry(key).or_insert(CoreState {
+            target: self.hw_max,
+            last_cycle: 0,
+            last_issued: 0,
+        });
+        let window = ev.cycle.saturating_sub(state.last_cycle);
+        if window < self.min_window {
+            return; // too little evidence; keep the current target
+        }
+        let issued = ev.core_kernel_issued.saturating_sub(state.last_issued);
+        let util = issue_utilization(issued, window, self.sched_per_core);
+        if util < self.t_low && state.target > 1 {
+            state.target -= 1;
+        } else if util > self.t_high && state.target < self.hw_max {
+            state.target += 1;
+        }
+        state.last_cycle = ev.cycle;
+        state.last_issued = ev.core_kernel_issued;
+    }
+
+    fn on_kernel_finish(&mut self, kernel: KernelId) {
+        self.states.retain(|(_, k), _| *k != kernel);
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn select(&mut self, view: &DispatchView<'_>) -> Option<Dispatch> {
+        let n = view.num_cores();
+        for k in view.kernels() {
+            if k.remaining == 0 {
+                continue;
+            }
+            for i in 0..n {
+                let core = (self.cursor + i) % n;
+                let info = view.core(core);
+                if info.capacity_for(k.id) == 0 {
+                    continue;
+                }
+                if let Some(s) = self.states.get(&(core, k.id)) {
+                    if info.ctas_of(k.id) >= s.target {
+                        continue;
+                    }
+                }
+                self.cursor = (core + 1) % n;
+                return Some(Dispatch {
+                    core,
+                    kernel: k.id,
+                    count: 1,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpgpu_sim::{CoreDispatchInfo, CtaIssueSample, KernelSummary};
+
+    fn event(core: usize, cycle: Cycle, issued: u64) -> CtaCompleteEvent {
+        CtaCompleteEvent {
+            core,
+            kernel: KernelId(0),
+            cta_id: 0,
+            cycle,
+            completed_on_core: 1,
+            core_kernel_issued: issued,
+            slot_snapshot: vec![CtaIssueSample {
+                kernel: KernelId(0),
+                cta_id: 0,
+                issued,
+                running: false,
+            }],
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "t_low")]
+    fn thresholds_validated() {
+        let _ = Dyncta::with_thresholds(0.8, 0.5);
+    }
+
+    #[test]
+    fn low_utilization_lowers_target() {
+        let mut d = Dyncta::new();
+        // First window: 100 instructions over 10_000 cycles at 2 slots
+        // per cycle = 0.005 utilization.
+        d.on_cta_complete(&event(0, 10_000, 100));
+        assert_eq!(d.target_of(0, KernelId(0)), Some(7));
+        d.on_cta_complete(&event(0, 20_000, 200));
+        assert_eq!(d.target_of(0, KernelId(0)), Some(6));
+    }
+
+    #[test]
+    fn high_utilization_raises_target_back() {
+        let mut d = Dyncta::new();
+        d.on_cta_complete(&event(0, 10_000, 100)); // drop to 7
+        // Next window: 19_000 issued in 10_000 cycles = 0.95 utilization.
+        d.on_cta_complete(&event(0, 20_000, 19_100));
+        assert_eq!(d.target_of(0, KernelId(0)), Some(8));
+    }
+
+    #[test]
+    fn target_clamped_to_one() {
+        let mut d = Dyncta::new();
+        for i in 1..30u64 {
+            d.on_cta_complete(&event(0, i * 10_000, i));
+        }
+        assert_eq!(d.target_of(0, KernelId(0)), Some(1));
+    }
+
+    #[test]
+    fn short_windows_ignored() {
+        let mut d = Dyncta::new();
+        d.on_cta_complete(&event(0, 10_000, 100)); // -> 7
+        d.on_cta_complete(&event(0, 10_050, 110)); // window 50 < 1000: no-op
+        assert_eq!(d.target_of(0, KernelId(0)), Some(7));
+    }
+
+    #[test]
+    fn dispatch_respects_target() {
+        let mut d = Dyncta::new();
+        d.on_kernel_launch(
+            KernelId(0),
+            &gpgpu_isa::KernelDescriptor::builder(
+                std::sync::Arc::new(gpgpu_isa::exit_only("k")),
+                gpgpu_isa::Dim2::x(10),
+                gpgpu_isa::Dim2::x(32),
+            )
+            .build()
+            .expect("valid"),
+            &gpgpu_sim::GpuConfig::fermi(),
+        );
+        // Drive the target down to 7.
+        d.on_cta_complete(&event(0, 10_000, 100));
+        let kernels = vec![KernelSummary {
+            id: KernelId(0),
+            next_cta: 0,
+            remaining: 100,
+            total_ctas: 100,
+            warps_per_cta: 1,
+        }];
+        let at_target = vec![CoreDispatchInfo {
+            cta_count: 7,
+            kernel_ctas: vec![(KernelId(0), 7)],
+            capacity: vec![(KernelId(0), 1)],
+            completed: vec![(KernelId(0), 1)],
+        }];
+        let view = DispatchView::new(0, &kernels, &at_target);
+        assert_eq!(d.select(&view), None, "core is at its adapted target");
+    }
+}

@@ -1,0 +1,59 @@
+//! The contribution of Lee et al., *"Improving GPGPU resource utilization
+//! through alternative thread block scheduling"* (HPCA 2014), reproduced
+//! on the `gpgpu-sim` substrate:
+//!
+//! * [`Lcs`] — **lazy CTA scheduling**: cap the per-core CTA count at a
+//!   value learned online from the per-CTA instruction-issue distribution
+//!   under a greedy warp scheduler (the maximum CTA count is often *not*
+//!   optimal).
+//! * [`Bcs`] + [`Baws`] — **block CTA scheduling** with a **block-aware
+//!   warp scheduler**: dispatch consecutive CTAs to the same core and keep
+//!   them advancing together, preserving inter-CTA cache and row-buffer
+//!   locality.
+//! * [`MixedCke`] — **mixed concurrent kernel execution**: fill the
+//!   per-core slots LCS frees with CTAs of a *different* kernel, versus
+//!   the [`LeftoverCke`] core-exclusive comparator and serial execution.
+//!
+//! Baseline comparators ship here too: [`Lrr`], [`Gto`], and [`TwoLevel`]
+//! warp schedulers and the [`RoundRobinCta`] CTA scheduler — plus
+//! [`Dyncta`], a continuously-adaptive throttler in the spirit of the
+//! paper's related work (Kayıran et al., PACT'13), for context.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use gpgpu_sim::{GpuConfig, GpuDevice};
+//! use tbs_core::{CtaPolicy, WarpPolicy};
+//! # fn kernel() -> gpgpu_isa::KernelDescriptor { unimplemented!() }
+//!
+//! // LCS with its GTO sensor scheduler:
+//! let warp = WarpPolicy::Gto.factory();
+//! let mut gpu = GpuDevice::new(
+//!     GpuConfig::fermi(),
+//!     warp.as_ref(),
+//!     CtaPolicy::Lcs(0.7).scheduler(),
+//! );
+//! gpu.launch(kernel());
+//! gpu.run(100_000_000).expect("completes");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bcs;
+mod cke;
+mod cta_sched;
+mod dyncta;
+mod lcs;
+mod presets;
+mod warp_sched;
+
+pub use bcs::Bcs;
+pub use cke::{LeftoverCke, MixedCke};
+pub use cta_sched::RoundRobinCta;
+pub use dyncta::Dyncta;
+pub use lcs::{estimate_cta_limit, issue_utilization, Lcs};
+pub use presets::{CtaPolicy, WarpPolicy};
+pub use warp_sched::{
+    Baws, BawsFactory, Gto, GtoFactory, Lrr, LrrFactory, TwoLevel, TwoLevelFactory,
+};

@@ -1,0 +1,127 @@
+//! Convenience constructors pairing warp and CTA policies by name, used by
+//! the experiment harness, examples, and tests.
+
+use crate::bcs::Bcs;
+use crate::cke::{LeftoverCke, MixedCke};
+use crate::cta_sched::RoundRobinCta;
+use crate::dyncta::Dyncta;
+use crate::lcs::Lcs;
+use crate::warp_sched::{BawsFactory, GtoFactory, LrrFactory, TwoLevelFactory};
+use gpgpu_sim::{CtaScheduler, WarpSchedulerFactory};
+use std::fmt;
+
+/// Warp-scheduler choices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarpPolicy {
+    /// Loose round-robin.
+    Lrr,
+    /// Greedy-then-oldest (the reference scheduler and LCS's sensor).
+    Gto,
+    /// Two-level with the given active-set size.
+    TwoLevel(usize),
+    /// Block-aware (pairs with BCS) with the given CTA-block size.
+    Baws(u32),
+}
+
+impl WarpPolicy {
+    /// Builds the factory for this policy.
+    pub fn factory(self) -> Box<dyn WarpSchedulerFactory> {
+        match self {
+            WarpPolicy::Lrr => Box::new(LrrFactory),
+            WarpPolicy::Gto => Box::new(GtoFactory),
+            WarpPolicy::TwoLevel(n) => Box::new(TwoLevelFactory { active_size: n }),
+            WarpPolicy::Baws(b) => Box::new(BawsFactory { block_size: b }),
+        }
+    }
+}
+
+impl fmt::Display for WarpPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarpPolicy::Lrr => write!(f, "lrr"),
+            WarpPolicy::Gto => write!(f, "gto"),
+            WarpPolicy::TwoLevel(n) => write!(f, "two-level({n})"),
+            WarpPolicy::Baws(b) => write!(f, "baws({b})"),
+        }
+    }
+}
+
+/// CTA-scheduler choices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CtaPolicy {
+    /// Round-robin baseline, optionally with a static per-core CTA limit.
+    Baseline(Option<u32>),
+    /// Lazy CTA scheduling with the given `gamma` threshold.
+    Lcs(f64),
+    /// Block CTA scheduling with the given block size.
+    Bcs(u32),
+    /// Core-exclusive ("leftover") concurrent kernel execution.
+    LeftoverCke,
+    /// Mixed concurrent kernel execution with the given LCS `gamma`.
+    MixedCke(f64),
+    /// Continuously-adaptive throttling (related-work comparator).
+    Dyncta,
+}
+
+impl CtaPolicy {
+    /// Builds the scheduler for this policy.
+    pub fn scheduler(self) -> Box<dyn CtaScheduler> {
+        match self {
+            CtaPolicy::Baseline(None) => Box::new(RoundRobinCta::new()),
+            CtaPolicy::Baseline(Some(n)) => Box::new(RoundRobinCta::with_limit(n)),
+            CtaPolicy::Lcs(gamma) => Box::new(Lcs::with_gamma(gamma)),
+            CtaPolicy::Bcs(b) => Box::new(Bcs::with_block_size(b)),
+            CtaPolicy::LeftoverCke => Box::new(LeftoverCke::new()),
+            CtaPolicy::MixedCke(gamma) => Box::new(MixedCke::with_gamma(gamma)),
+            CtaPolicy::Dyncta => Box::new(Dyncta::new()),
+        }
+    }
+}
+
+impl fmt::Display for CtaPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtaPolicy::Baseline(None) => write!(f, "baseline"),
+            CtaPolicy::Baseline(Some(n)) => write!(f, "baseline(limit={n})"),
+            CtaPolicy::Lcs(g) => write!(f, "lcs(gamma={g})"),
+            CtaPolicy::Bcs(b) => write!(f, "bcs(block={b})"),
+            CtaPolicy::LeftoverCke => write!(f, "leftover-cke"),
+            CtaPolicy::MixedCke(g) => write!(f, "mixed-cke(gamma={g})"),
+            CtaPolicy::Dyncta => write!(f, "dyncta"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factories_resolve() {
+        assert_eq!(WarpPolicy::Lrr.factory().name(), "lrr");
+        assert_eq!(WarpPolicy::Gto.factory().name(), "gto");
+        assert_eq!(WarpPolicy::TwoLevel(8).factory().name(), "two-level");
+        assert_eq!(WarpPolicy::Baws(2).factory().name(), "baws");
+    }
+
+    #[test]
+    fn schedulers_resolve() {
+        assert_eq!(CtaPolicy::Baseline(None).scheduler().name(), "rr");
+        assert_eq!(CtaPolicy::Baseline(Some(2)).scheduler().name(), "rr");
+        assert_eq!(CtaPolicy::Lcs(0.7).scheduler().name(), "lcs");
+        assert_eq!(CtaPolicy::Bcs(2).scheduler().name(), "bcs");
+        assert_eq!(CtaPolicy::LeftoverCke.scheduler().name(), "leftover-cke");
+        assert_eq!(CtaPolicy::MixedCke(0.7).scheduler().name(), "mixed-cke");
+        assert_eq!(CtaPolicy::Dyncta.scheduler().name(), "dyncta");
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(WarpPolicy::Gto.to_string(), "gto");
+        assert_eq!(CtaPolicy::Bcs(2).to_string(), "bcs(block=2)");
+        assert_eq!(
+            CtaPolicy::Baseline(Some(4)).to_string(),
+            "baseline(limit=4)"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the scheduling policies: estimator bounds,
+//! scheduler-pick legality over arbitrary candidate sets, and dispatch
+//! legality over arbitrary machine states.
+
+use gpgpu_sim::{
+    CoreDispatchInfo, CtaScheduler, DispatchView, IssueView, KernelId, KernelSummary, WarpMeta,
+    WarpScheduler,
+};
+use proptest::prelude::*;
+use tbs_core::{estimate_cta_limit, Baws, Bcs, Gto, Lcs, LeftoverCke, Lrr, RoundRobinCta, TwoLevel};
+
+proptest! {
+    /// The LCS estimate is always within [1, samples.len()] and monotone
+    /// non-increasing in gamma.
+    #[test]
+    fn estimator_bounds_and_monotonicity(
+        samples in prop::collection::vec(0u64..1_000_000, 0..16),
+        g1 in 0.01f64..1.0,
+        g2 in 0.01f64..1.0,
+    ) {
+        let n = estimate_cta_limit(&samples, g1);
+        prop_assert!(n >= 1);
+        prop_assert!(n as usize <= samples.len().max(1));
+        let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        prop_assert!(
+            estimate_cta_limit(&samples, lo) >= estimate_cta_limit(&samples, hi),
+            "estimate must not grow with gamma"
+        );
+    }
+
+    /// Every warp scheduler returns either None or a member of the
+    /// candidate list, for arbitrary candidate sets and warp metadata.
+    #[test]
+    fn warp_schedulers_pick_legally(
+        slots in prop::collection::vec(0usize..48, 0..20),
+        ages in prop::collection::vec(0u64..1000, 48),
+        rounds in 1usize..5,
+    ) {
+        let mut candidates: Vec<usize> = slots;
+        candidates.sort_unstable();
+        candidates.dedup();
+        let warps: Vec<Option<WarpMeta>> = (0..48)
+            .map(|i| {
+                Some(WarpMeta {
+                    kernel: KernelId(0),
+                    cta_id: (i / 8) as u64,
+                    cta_slot: i / 8,
+                    warp_in_cta: (i % 8) as u32,
+                    age: ages[i],
+                    issued: 0,
+                })
+            })
+            .collect();
+        let view = IssueView::new(0, 0, &warps);
+        let mut policies: Vec<Box<dyn WarpScheduler>> = vec![
+            Box::new(Lrr::new()),
+            Box::new(Gto::new()),
+            Box::new(TwoLevel::new(4)),
+            Box::new(Baws::new(2)),
+        ];
+        for p in &mut policies {
+            // TwoLevel needs start notifications.
+            for (i, w) in warps.iter().enumerate() {
+                if let Some(m) = w {
+                    p.on_warp_start(i, m);
+                }
+            }
+            for _ in 0..rounds {
+                match p.pick(&view, &candidates) {
+                    None => prop_assert!(candidates.is_empty() || p.name() == "two-level"),
+                    Some(s) => {
+                        prop_assert!(candidates.contains(&s), "{} picked non-candidate {s}", p.name());
+                        p.on_issue(s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// CTA schedulers only dispatch kernels that exist, to cores that
+    /// exist, with positive counts, for arbitrary capacity states.
+    #[test]
+    fn cta_schedulers_dispatch_legally(
+        caps in prop::collection::vec((0u32..9, 0u32..9), 1..8),
+        remaining in 0u64..100,
+    ) {
+        let kernels = vec![KernelSummary {
+            id: KernelId(0),
+            next_cta: 0,
+            remaining,
+            total_ctas: remaining,
+            warps_per_cta: 4,
+        }];
+        let cores: Vec<CoreDispatchInfo> = caps
+            .iter()
+            .map(|&(ctas, cap)| CoreDispatchInfo {
+                cta_count: ctas,
+                kernel_ctas: vec![(KernelId(0), ctas)],
+                capacity: vec![(KernelId(0), cap)],
+                completed: vec![(KernelId(0), 0)],
+            })
+            .collect();
+        let view = DispatchView::new(0, &kernels, &cores);
+        let mut policies: Vec<Box<dyn CtaScheduler>> = vec![
+            Box::new(RoundRobinCta::new()),
+            Box::new(RoundRobinCta::with_limit(2)),
+            Box::new(Lcs::new()),
+            Box::new(Bcs::new()),
+            Box::new(LeftoverCke::new()),
+        ];
+        for p in &mut policies {
+            if let Some(d) = p.select(&view) {
+                prop_assert!(d.core < cores.len(), "{}: core in range", p.name());
+                prop_assert_eq!(d.kernel, KernelId(0));
+                prop_assert!(d.count >= 1, "{}: positive count", p.name());
+                prop_assert!(remaining > 0, "{}: no dispatch from empty kernel", p.name());
+                // Capacity respected for single-CTA policies; BCS may ask
+                // for a whole block but never more than capacity.
+                let cap = cores[d.core].capacity_for(KernelId(0));
+                prop_assert!(d.count <= cap.max(1), "{}: count {} vs cap {}", p.name(), d.count, cap);
+            }
+        }
+    }
+}

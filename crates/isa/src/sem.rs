@@ -1,0 +1,201 @@
+//! Pure functional semantics for ALU and comparison operations.
+//!
+//! The simulator separates *function* from *timing*: instructions are
+//! evaluated functionally (through these helpers) at issue time, while
+//! latency is modeled by the scoreboard and memory system. Keeping the
+//! semantics pure makes them directly unit- and property-testable.
+
+use crate::types::{AluOp, CmpOp, CmpTy, PBoolOp};
+
+/// Interprets the low 32 bits of a register value as an `f32`.
+pub fn to_f32(v: u64) -> f32 {
+    f32::from_bits(v as u32)
+}
+
+/// Stores an `f32` into a register value (zero-extended).
+pub fn from_f32(v: f32) -> u64 {
+    u64::from(v.to_bits())
+}
+
+/// Evaluates an ALU operation on per-lane values. `c` is ignored unless the
+/// op is ternary.
+pub fn eval_alu(op: AluOp, a: u64, b: u64, c: u64) -> u64 {
+    match op {
+        AluOp::IAdd => a.wrapping_add(b),
+        AluOp::ISub => a.wrapping_sub(b),
+        AluOp::IMul => a.wrapping_mul(b),
+        AluOp::IMad => a.wrapping_mul(b).wrapping_add(c),
+        AluOp::IMin => (a as i64).min(b as i64) as u64,
+        AluOp::IMax => (a as i64).max(b as i64) as u64,
+        AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+        AluOp::ShrL => a.wrapping_shr((b & 63) as u32),
+        AluOp::ShrA => ((a as i64).wrapping_shr((b & 63) as u32)) as u64,
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::URem => {
+            if b == 0 {
+                0
+            } else {
+                a % b
+            }
+        }
+        AluOp::UDiv => {
+            if b == 0 {
+                0
+            } else {
+                a / b
+            }
+        }
+        AluOp::FAdd => from_f32(to_f32(a) + to_f32(b)),
+        AluOp::FSub => from_f32(to_f32(a) - to_f32(b)),
+        AluOp::FMul => from_f32(to_f32(a) * to_f32(b)),
+        AluOp::FFma => from_f32(to_f32(a).mul_add(to_f32(b), to_f32(c))),
+        AluOp::FMin => from_f32(to_f32(a).min(to_f32(b))),
+        AluOp::FMax => from_f32(to_f32(a).max(to_f32(b))),
+        AluOp::FRcp => from_f32(1.0 / to_f32(a)),
+        AluOp::FSqrt => from_f32(to_f32(a).sqrt()),
+        AluOp::FExp2 => from_f32(to_f32(a).exp2()),
+        AluOp::FLog2 => from_f32(to_f32(a).log2()),
+        AluOp::I2F => from_f32(a as f32),
+        AluOp::F2I => {
+            let f = to_f32(a);
+            if f.is_nan() || f <= 0.0 {
+                0
+            } else {
+                f as u64
+            }
+        }
+    }
+}
+
+/// Evaluates a comparison on per-lane values.
+pub fn eval_cmp(cmp: CmpOp, ty: CmpTy, a: u64, b: u64) -> bool {
+    match ty {
+        CmpTy::U64 => cmp_ord(cmp, a.cmp(&b)),
+        CmpTy::I64 => cmp_ord(cmp, (a as i64).cmp(&(b as i64))),
+        CmpTy::F32 => {
+            let (x, y) = (to_f32(a), to_f32(b));
+            match cmp {
+                CmpOp::Eq => x == y,
+                CmpOp::Ne => x != y,
+                CmpOp::Lt => x < y,
+                CmpOp::Le => x <= y,
+                CmpOp::Gt => x > y,
+                CmpOp::Ge => x >= y,
+            }
+        }
+    }
+}
+
+fn cmp_ord(cmp: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match cmp {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+/// Evaluates a predicate combinator.
+pub fn eval_pbool(op: PBoolOp, a: bool, b: bool) -> bool {
+    match op {
+        PBoolOp::And => a && b,
+        PBoolOp::Or => a || b,
+        PBoolOp::Xor => a ^ b,
+        PBoolOp::AndNot => a && !b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_ops() {
+        assert_eq!(eval_alu(AluOp::IAdd, 3, 4, 0), 7);
+        assert_eq!(eval_alu(AluOp::ISub, 3, 4, 0), u64::MAX);
+        assert_eq!(eval_alu(AluOp::IMul, 5, 6, 0), 30);
+        assert_eq!(eval_alu(AluOp::IMad, 5, 6, 7), 37);
+        assert_eq!(eval_alu(AluOp::IMin, (-2i64) as u64, 1, 0), (-2i64) as u64);
+        assert_eq!(eval_alu(AluOp::IMax, (-2i64) as u64, 1, 0), 1);
+        assert_eq!(eval_alu(AluOp::Shl, 1, 4, 0), 16);
+        assert_eq!(eval_alu(AluOp::ShrL, 16, 4, 0), 1);
+        assert_eq!(
+            eval_alu(AluOp::ShrA, (-16i64) as u64, 2, 0),
+            (-4i64) as u64
+        );
+        assert_eq!(eval_alu(AluOp::URem, 10, 3, 0), 1);
+        assert_eq!(eval_alu(AluOp::URem, 10, 0, 0), 0);
+        assert_eq!(eval_alu(AluOp::UDiv, 10, 3, 0), 3);
+        assert_eq!(eval_alu(AluOp::UDiv, 10, 0, 0), 0);
+    }
+
+    #[test]
+    fn shift_amount_masked() {
+        assert_eq!(eval_alu(AluOp::Shl, 1, 64, 0), 1); // 64 & 63 == 0
+        assert_eq!(eval_alu(AluOp::ShrL, 8, 65, 0), 4);
+    }
+
+    #[test]
+    fn float_ops() {
+        let two = from_f32(2.0);
+        let three = from_f32(3.0);
+        assert_eq!(to_f32(eval_alu(AluOp::FAdd, two, three, 0)), 5.0);
+        assert_eq!(to_f32(eval_alu(AluOp::FMul, two, three, 0)), 6.0);
+        assert_eq!(
+            to_f32(eval_alu(AluOp::FFma, two, three, from_f32(1.0))),
+            7.0
+        );
+        assert_eq!(to_f32(eval_alu(AluOp::FRcp, two, 0, 0)), 0.5);
+        assert_eq!(to_f32(eval_alu(AluOp::FSqrt, from_f32(9.0), 0, 0)), 3.0);
+        assert_eq!(to_f32(eval_alu(AluOp::I2F, 5, 0, 0)), 5.0);
+        assert_eq!(eval_alu(AluOp::F2I, from_f32(5.9), 0, 0), 5);
+        assert_eq!(eval_alu(AluOp::F2I, from_f32(f32::NAN), 0, 0), 0);
+        assert_eq!(eval_alu(AluOp::F2I, from_f32(-1.0), 0, 0), 0);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(eval_cmp(CmpOp::Lt, CmpTy::U64, 1, 2));
+        assert!(!eval_cmp(CmpOp::Lt, CmpTy::U64, 2, 1));
+        // -1 as unsigned is huge; as signed it is less than 1.
+        let neg1 = (-1i64) as u64;
+        assert!(!eval_cmp(CmpOp::Lt, CmpTy::U64, neg1, 1));
+        assert!(eval_cmp(CmpOp::Lt, CmpTy::I64, neg1, 1));
+        assert!(eval_cmp(CmpOp::Ge, CmpTy::U64, 2, 2));
+        assert!(eval_cmp(CmpOp::Ne, CmpTy::U64, 2, 3));
+        assert!(eval_cmp(
+            CmpOp::Lt,
+            CmpTy::F32,
+            from_f32(1.5),
+            from_f32(2.5)
+        ));
+        // NaN compares false under everything except Ne.
+        let nan = from_f32(f32::NAN);
+        assert!(!eval_cmp(CmpOp::Eq, CmpTy::F32, nan, nan));
+        assert!(eval_cmp(CmpOp::Ne, CmpTy::F32, nan, nan));
+        assert!(!eval_cmp(CmpOp::Le, CmpTy::F32, nan, nan));
+    }
+
+    #[test]
+    fn pbool_ops() {
+        assert!(eval_pbool(PBoolOp::And, true, true));
+        assert!(!eval_pbool(PBoolOp::And, true, false));
+        assert!(eval_pbool(PBoolOp::Or, false, true));
+        assert!(eval_pbool(PBoolOp::Xor, true, false));
+        assert!(!eval_pbool(PBoolOp::Xor, true, true));
+        assert!(eval_pbool(PBoolOp::AndNot, true, false));
+        assert!(!eval_pbool(PBoolOp::AndNot, true, true));
+    }
+
+    #[test]
+    fn f32_roundtrip() {
+        for v in [0.0f32, -1.25, 3.5e10, f32::INFINITY] {
+            assert_eq!(to_f32(from_f32(v)), v);
+        }
+    }
+}

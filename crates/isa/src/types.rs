@@ -1,0 +1,385 @@
+//! Fundamental ISA types: registers, operands, opcodes, launch dimensions.
+
+use std::fmt;
+
+/// Number of lanes per warp. Fixed at 32 (Fermi-class), as in the paper's
+/// GPGPU-Sim configuration.
+pub const WARP_SIZE: usize = 32;
+
+/// A program counter: an index into a [`Program`](crate::Program)'s
+/// instruction list.
+pub type Pc = u32;
+
+/// A general-purpose, per-thread register holding a 64-bit value.
+///
+/// Integer operations treat the value as `u64`/`i64`; floating-point
+/// operations interpret the low 32 bits as an `f32` (results are
+/// zero-extended).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A per-thread predicate (boolean) register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pred(pub u8);
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A source operand: either a register or a 64-bit immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Read the per-lane value of a register.
+    Reg(Reg),
+    /// A literal, identical across lanes.
+    Imm(u64),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v as u64)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Self {
+        Operand::Imm(v as u64)
+    }
+}
+
+impl From<f32> for Operand {
+    fn from(v: f32) -> Self {
+        Operand::Imm(v.to_bits() as u64)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+/// Read-only special registers describing a thread's position in the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecialReg {
+    /// Thread index within the CTA, x dimension.
+    TidX,
+    /// Thread index within the CTA, y dimension.
+    TidY,
+    /// CTA size, x dimension.
+    NTidX,
+    /// CTA size, y dimension.
+    NTidY,
+    /// CTA index within the grid, x dimension.
+    CtaIdX,
+    /// CTA index within the grid, y dimension.
+    CtaIdY,
+    /// Grid size in CTAs, x dimension.
+    NCtaIdX,
+    /// Grid size in CTAs, y dimension.
+    NCtaIdY,
+    /// Lane index within the warp (0..32).
+    LaneId,
+    /// Linearized CTA id: `ctaid.y * nctaid.x + ctaid.x`.
+    CtaLinear,
+}
+
+/// ALU operations. Integer ops use wrapping 64-bit arithmetic; `F*` ops
+/// operate on the low 32 bits as `f32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `a + b` (wrapping).
+    IAdd,
+    /// `a - b` (wrapping).
+    ISub,
+    /// `a * b` (wrapping, low 64 bits).
+    IMul,
+    /// `a * b + c` (wrapping).
+    IMad,
+    /// Signed minimum.
+    IMin,
+    /// Signed maximum.
+    IMax,
+    /// `a << (b & 63)`.
+    Shl,
+    /// Logical right shift `a >> (b & 63)`.
+    ShrL,
+    /// Arithmetic right shift.
+    ShrA,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Unsigned remainder (`a % b`, 0 if `b == 0`). Executes on the SFU path.
+    URem,
+    /// Unsigned division (`a / b`, 0 if `b == 0`). Executes on the SFU path.
+    UDiv,
+    /// `f32` addition.
+    FAdd,
+    /// `f32` subtraction.
+    FSub,
+    /// `f32` multiplication.
+    FMul,
+    /// Fused multiply-add `a * b + c`.
+    FFma,
+    /// `f32` minimum.
+    FMin,
+    /// `f32` maximum.
+    FMax,
+    /// Reciprocal (SFU).
+    FRcp,
+    /// Square root (SFU).
+    FSqrt,
+    /// Base-2 exponential (SFU).
+    FExp2,
+    /// Base-2 logarithm (SFU).
+    FLog2,
+    /// Convert `u64` integer to `f32` (in the low 32 bits).
+    I2F,
+    /// Convert `f32` to `u64` integer (truncating, clamped at 0 for NaN/negatives).
+    F2I,
+}
+
+impl AluOp {
+    /// Whether this op executes on the special-function unit (long latency,
+    /// lower throughput) rather than the main ALU.
+    pub fn is_sfu(self) -> bool {
+        matches!(
+            self,
+            AluOp::FRcp
+                | AluOp::FSqrt
+                | AluOp::FExp2
+                | AluOp::FLog2
+                | AluOp::URem
+                | AluOp::UDiv
+        )
+    }
+
+    /// Whether this op needs a third operand (`c`).
+    pub fn is_ternary(self) -> bool {
+        matches!(self, AluOp::IMad | AluOp::FFma)
+    }
+
+    /// Whether this op operates on `f32` values.
+    pub fn is_float(self) -> bool {
+        matches!(
+            self,
+            AluOp::FAdd
+                | AluOp::FSub
+                | AluOp::FMul
+                | AluOp::FFma
+                | AluOp::FMin
+                | AluOp::FMax
+                | AluOp::FRcp
+                | AluOp::FSqrt
+                | AluOp::FExp2
+                | AluOp::FLog2
+        )
+    }
+}
+
+/// Comparison operators for [`Instr::SetP`](crate::Instr::SetP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// The type a comparison interprets its operands as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpTy {
+    /// Signed 64-bit integers.
+    I64,
+    /// Unsigned 64-bit integers.
+    U64,
+    /// 32-bit floats (low 32 bits of the register).
+    F32,
+}
+
+/// Boolean combinators on predicate registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PBoolOp {
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+    /// Logical xor.
+    Xor,
+    /// Logical and-not: `a && !b`.
+    AndNot,
+}
+
+/// Address spaces for memory instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Device (global) memory, backed by the cache hierarchy and DRAM.
+    Global,
+    /// Per-CTA scratchpad (shared) memory, on-chip and banked.
+    Shared,
+}
+
+/// Per-lane access width for memory instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessWidth {
+    /// 4 bytes per lane.
+    W4,
+    /// 8 bytes per lane.
+    W8,
+}
+
+impl AccessWidth {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            AccessWidth::W4 => 4,
+            AccessWidth::W8 => 8,
+        }
+    }
+}
+
+/// Execution-resource class of an instruction; the simulator maps each class
+/// to a latency and a pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecClass {
+    /// Integer ALU.
+    IntAlu,
+    /// Single-precision floating-point ALU.
+    FpAlu,
+    /// Special-function unit (transcendentals, divide).
+    Sfu,
+    /// Global-memory load/store (variable latency via the memory system).
+    MemGlobal,
+    /// Shared-memory load/store (fixed latency plus bank conflicts).
+    MemShared,
+    /// Control flow (branches).
+    Ctrl,
+    /// CTA-wide barrier.
+    Barrier,
+    /// Thread exit.
+    Exit,
+}
+
+/// A two-dimensional extent used for both grid (in CTAs) and CTA (in
+/// threads) shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim2 {
+    /// Extent in the x dimension. Must be nonzero.
+    pub x: u32,
+    /// Extent in the y dimension. Must be nonzero.
+    pub y: u32,
+}
+
+impl Dim2 {
+    /// A new 2-D extent.
+    pub fn new(x: u32, y: u32) -> Self {
+        Dim2 { x, y }
+    }
+
+    /// A 1-D extent (`y = 1`).
+    pub fn x(x: u32) -> Self {
+        Dim2 { x, y: 1 }
+    }
+
+    /// Total number of elements.
+    pub fn count(&self) -> u64 {
+        u64::from(self.x) * u64::from(self.y)
+    }
+}
+
+impl fmt::Display for Dim2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.x, self.y)
+    }
+}
+
+impl Default for Dim2 {
+    fn default() -> Self {
+        Dim2 { x: 1, y: 1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(3)), Operand::Reg(Reg(3)));
+        assert_eq!(Operand::from(7u64), Operand::Imm(7));
+        assert_eq!(Operand::from(-1i64), Operand::Imm(u64::MAX));
+        assert_eq!(Operand::from(1.0f32), Operand::Imm(0x3f80_0000));
+    }
+
+    #[test]
+    fn sfu_classification() {
+        assert!(AluOp::FRcp.is_sfu());
+        assert!(AluOp::UDiv.is_sfu());
+        assert!(!AluOp::IAdd.is_sfu());
+        assert!(AluOp::FFma.is_ternary());
+        assert!(!AluOp::FAdd.is_ternary());
+    }
+
+    #[test]
+    fn float_classification_excludes_conversions() {
+        assert!(AluOp::FAdd.is_float());
+        assert!(!AluOp::I2F.is_float());
+        assert!(!AluOp::IAdd.is_float());
+    }
+
+    #[test]
+    fn dim2_count_and_display() {
+        let d = Dim2::new(16, 4);
+        assert_eq!(d.count(), 64);
+        assert_eq!(d.to_string(), "16x4");
+        assert_eq!(Dim2::x(8).count(), 8);
+    }
+
+    #[test]
+    fn access_width_bytes() {
+        assert_eq!(AccessWidth::W4.bytes(), 4);
+        assert_eq!(AccessWidth::W8.bytes(), 8);
+    }
+
+    #[test]
+    fn display_regs() {
+        assert_eq!(Reg(5).to_string(), "r5");
+        assert_eq!(Pred(1).to_string(), "p1");
+        assert_eq!(Operand::from(Reg(2)).to_string(), "r2");
+        assert_eq!(Operand::from(9u64).to_string(), "#9");
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests for the ISA: functional semantics laws and
+//! builder well-formedness over randomly generated structured programs.
+
+use gpgpu_isa::{
+    sem, AluOp, CmpOp, CmpTy, Dim2, KernelBuilder, PBoolOp, Pc,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn iadd_commutes(a: u64, b: u64) {
+        prop_assert_eq!(
+            sem::eval_alu(AluOp::IAdd, a, b, 0),
+            sem::eval_alu(AluOp::IAdd, b, a, 0)
+        );
+    }
+
+    #[test]
+    fn imad_is_mul_then_add(a: u64, b: u64, c: u64) {
+        let mul = sem::eval_alu(AluOp::IMul, a, b, 0);
+        let add = sem::eval_alu(AluOp::IAdd, mul, c, 0);
+        prop_assert_eq!(sem::eval_alu(AluOp::IMad, a, b, c), add);
+    }
+
+    #[test]
+    fn sub_is_inverse_of_add(a: u64, b: u64) {
+        let s = sem::eval_alu(AluOp::IAdd, a, b, 0);
+        prop_assert_eq!(sem::eval_alu(AluOp::ISub, s, b, 0), a);
+    }
+
+    #[test]
+    fn shl_then_shr_recovers_low_bits(a: u64, k in 0u64..32) {
+        let x = a & 0xFFFF_FFFF;
+        let shifted = sem::eval_alu(AluOp::Shl, x, k, 0);
+        let back = sem::eval_alu(AluOp::ShrL, shifted, k, 0);
+        // Holds whenever no bits were shifted out.
+        if x.leading_zeros() as u64 >= k {
+            prop_assert_eq!(back, x);
+        }
+    }
+
+    #[test]
+    fn cmp_trichotomy_unsigned(a: u64, b: u64) {
+        let lt = sem::eval_cmp(CmpOp::Lt, CmpTy::U64, a, b);
+        let eq = sem::eval_cmp(CmpOp::Eq, CmpTy::U64, a, b);
+        let gt = sem::eval_cmp(CmpOp::Gt, CmpTy::U64, a, b);
+        prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+        prop_assert_eq!(sem::eval_cmp(CmpOp::Le, CmpTy::U64, a, b), lt || eq);
+        prop_assert_eq!(sem::eval_cmp(CmpOp::Ge, CmpTy::U64, a, b), gt || eq);
+        prop_assert_eq!(sem::eval_cmp(CmpOp::Ne, CmpTy::U64, a, b), !eq);
+    }
+
+    #[test]
+    fn cmp_signed_consistent_with_i64(a: i64, b: i64) {
+        prop_assert_eq!(
+            sem::eval_cmp(CmpOp::Lt, CmpTy::I64, a as u64, b as u64),
+            a < b
+        );
+    }
+
+    #[test]
+    fn pbool_against_reference(a: bool, b: bool) {
+        prop_assert_eq!(sem::eval_pbool(PBoolOp::And, a, b), a && b);
+        prop_assert_eq!(sem::eval_pbool(PBoolOp::Or, a, b), a || b);
+        prop_assert_eq!(sem::eval_pbool(PBoolOp::Xor, a, b), a ^ b);
+        prop_assert_eq!(sem::eval_pbool(PBoolOp::AndNot, a, b), a && !b);
+    }
+
+    #[test]
+    fn division_never_panics(a: u64, b: u64) {
+        let _ = sem::eval_alu(AluOp::UDiv, a, b, 0);
+        let _ = sem::eval_alu(AluOp::URem, a, b, 0);
+    }
+
+    #[test]
+    fn f32_ops_are_bit_stable(a: f32, b: f32) {
+        // Two evaluations give identical bits (determinism).
+        let x = sem::eval_alu(AluOp::FAdd, sem::from_f32(a), sem::from_f32(b), 0);
+        let y = sem::eval_alu(AluOp::FAdd, sem::from_f32(a), sem::from_f32(b), 0);
+        prop_assert_eq!(x, y);
+    }
+}
+
+/// A recipe for a randomly shaped (but structured) program.
+#[derive(Debug, Clone)]
+enum Shape {
+    Straight(u8),
+    IfThen(u8),
+    IfThenElse(u8, u8),
+    Loop(u8, u8),
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (1u8..5).prop_map(Shape::Straight),
+        (1u8..4).prop_map(Shape::IfThen),
+        (1u8..3, 1u8..3).prop_map(|(a, b)| Shape::IfThenElse(a, b)),
+        (1u8..4, 1u8..3).prop_map(|(n, b)| Shape::Loop(n, b)),
+    ]
+}
+
+proptest! {
+    /// Any sequence of structured control-flow shapes builds a valid
+    /// program whose branch targets/reconvergence PCs are in range.
+    #[test]
+    fn structured_programs_always_validate(shapes in prop::collection::vec(shape_strategy(), 1..6)) {
+        let mut k = KernelBuilder::new("prop", Dim2::x(32));
+        let x = k.movi(1u64);
+        for s in &shapes {
+            match s {
+                Shape::Straight(n) => {
+                    for _ in 0..*n {
+                        k.alu_to(AluOp::IAdd, x, x, 1u64);
+                    }
+                }
+                Shape::IfThen(n) => {
+                    let p = k.setp(CmpOp::Lt, CmpTy::U64, x, 100u64);
+                    let n = *n;
+                    k.if_then(p, |k| {
+                        for _ in 0..n {
+                            k.alu_to(AluOp::IAdd, x, x, 1u64);
+                        }
+                    });
+                }
+                Shape::IfThenElse(a, b) => {
+                    let p = k.setp(CmpOp::Lt, CmpTy::U64, x, 50u64);
+                    let (a, b) = (*a, *b);
+                    k.if_then_else(
+                        p,
+                        |k| {
+                            for _ in 0..a {
+                                k.alu_to(AluOp::IAdd, x, x, 1u64);
+                            }
+                        },
+                        |k| {
+                            for _ in 0..b {
+                                k.alu_to(AluOp::ISub, x, x, 1u64);
+                            }
+                        },
+                    );
+                }
+                Shape::Loop(trips, body) => {
+                    let (trips, body) = (*trips, *body);
+                    k.for_range(0u64, u64::from(trips), 1u64, |k, _i| {
+                        for _ in 0..body {
+                            k.alu_to(AluOp::IAdd, x, x, 1u64);
+                        }
+                    });
+                }
+            }
+        }
+        let prog = k.build().expect("structured programs always validate");
+        let len = prog.len() as Pc;
+        for ins in prog.instructions() {
+            match ins.op {
+                gpgpu_isa::Instr::Bra { target } => prop_assert!(target < len),
+                gpgpu_isa::Instr::BraCond { target, reconv, .. } => {
+                    prop_assert!(target < len);
+                    prop_assert!(reconv < len);
+                }
+                _ => {}
+            }
+        }
+        // Stats add up.
+        let stats = prog.stats();
+        prop_assert_eq!(
+            stats.total,
+            stats.int_alu + stats.fp_alu + stats.sfu + stats.global_loads
+                + stats.global_stores + stats.shared_mem + stats.control
+                + stats.barriers + stats.exits
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Property-based tests for the memory substrate: the cache against a
+//! reference LRU model, DRAM conservation laws, and crossbar delivery.
+
+use gpgpu_mem::cache::DownstreamKind;
+use gpgpu_mem::dram::DramRequest;
+use gpgpu_mem::{
+    Access, AccessKind, Cache, CacheConfig, Crossbar, DramChannel, DramConfig, ReqId, XbarConfig,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// A trivially correct reference for hit/miss classification of a
+/// fully-drained (always-filled-immediately) LRU cache.
+struct RefLru {
+    sets: Vec<VecDeque<u64>>,
+    line: u64,
+    assoc: usize,
+}
+
+impl RefLru {
+    fn new(sets: usize, assoc: usize, line: u64) -> Self {
+        RefLru {
+            sets: (0..sets).map(|_| VecDeque::new()).collect(),
+            line,
+            assoc,
+        }
+    }
+
+    /// Returns whether `addr` hits, then touches/installs it.
+    fn access(&mut self, addr: u64) -> bool {
+        let l = addr & !(self.line - 1);
+        let set = ((l / self.line) as usize) % self.sets.len();
+        let s = &mut self.sets[set];
+        if let Some(pos) = s.iter().position(|&x| x == l) {
+            s.remove(pos);
+            s.push_back(l);
+            true
+        } else {
+            if s.len() == self.assoc {
+                s.pop_front();
+            }
+            s.push_back(l);
+            false
+        }
+    }
+}
+
+proptest! {
+    /// When every miss is filled before the next access (no overlap), the
+    /// cache must classify hits/misses exactly like a reference LRU.
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..4096, 1..200)) {
+        let cfg = CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            assoc: 2,
+            mshr_entries: 8,
+            mshr_max_merge: 8,
+            miss_queue_len: 8,
+            write_back: false,
+            write_allocate: false,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut reference = RefLru::new(8, 2, 64);
+        for (i, &addr) in addrs.iter().enumerate() {
+            let expect_hit = reference.access(addr);
+            let got = cache.access(addr, AccessKind::Load, Some(ReqId(i as u64)), i as u64);
+            match got {
+                Access::Hit => prop_assert!(expect_hit, "spurious hit at {addr:#x}"),
+                Access::Miss => {
+                    prop_assert!(!expect_hit, "spurious miss at {addr:#x}");
+                    // Fill immediately to keep the reference in sync.
+                    let d = cache.pop_downstream().expect("fetch queued");
+                    prop_assert_eq!(d.kind, DownstreamKind::Fetch);
+                    cache.fill(addr, i as u64);
+                }
+                other => prop_assert!(false, "unexpected outcome {other:?}"),
+            }
+        }
+    }
+
+    /// MSHR occupancy never exceeds capacity, and every waiter is returned
+    /// by exactly one fill.
+    #[test]
+    fn cache_mshr_conservation(addrs in prop::collection::vec(0u64..2048, 1..100)) {
+        let cfg = CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            assoc: 2,
+            mshr_entries: 4,
+            mshr_max_merge: 4,
+            miss_queue_len: 4,
+            write_back: false,
+            write_allocate: false,
+        };
+        let mut cache = Cache::new(cfg);
+        let mut accepted = Vec::new();
+        let mut completed = Vec::new();
+        for (i, &addr) in addrs.iter().enumerate() {
+            let id = ReqId(i as u64);
+            match cache.access(addr, AccessKind::Load, Some(id), i as u64) {
+                Access::Hit => completed.push(id),
+                Access::Miss | Access::MissMerged => accepted.push(id),
+                Access::MissNoAlloc => unreachable!("loads never no-alloc"),
+                Access::Fail(_) => {
+                    // Drain one fetch to make room, then move on.
+                    if let Some(d) = cache.pop_downstream() {
+                        let out = cache.fill(d.addr, i as u64);
+                        completed.extend(out.ready);
+                    }
+                }
+            }
+            prop_assert!(cache.mshrs_in_use() <= 4);
+        }
+        // Drain everything.
+        while let Some(d) = cache.pop_downstream() {
+            if d.kind == DownstreamKind::Fetch {
+                let out = cache.fill(d.addr, 10_000);
+                completed.extend(out.ready);
+            }
+        }
+        prop_assert!(cache.quiesced());
+        let mut waited: Vec<u64> = accepted.iter().map(|r| r.0).collect();
+        let mut done: Vec<u64> = completed.iter().map(|r| r.0).collect();
+        waited.sort_unstable();
+        done.sort_unstable();
+        // Every accepted (non-hit) id appears exactly once among fills.
+        for id in waited {
+            prop_assert!(done.binary_search(&id).is_ok(), "request {id} lost");
+        }
+    }
+
+    /// DRAM conserves requests and respects the minimum access latency.
+    #[test]
+    fn dram_conserves_requests(addrs in prop::collection::vec(0u64..65536, 1..64)) {
+        let mut chan = DramChannel::new(DramConfig::gddr5_default());
+        let min_latency = u64::from(DramConfig::gddr5_default().t_cas);
+        let mut submitted = 0u64;
+        let mut completed = 0u64;
+        let mut queue: VecDeque<(u64, u64)> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (i as u64, a & !127))
+            .collect();
+        let mut submit_times = std::collections::HashMap::new();
+        for now in 0..100_000u64 {
+            if let Some(&(token, addr)) = queue.front() {
+                if chan.submit(DramRequest { local_addr: addr, is_read: true, token }, now) {
+                    submit_times.insert(token, now);
+                    submitted += 1;
+                    queue.pop_front();
+                }
+            }
+            for c in chan.tick(now) {
+                completed += 1;
+                let t0 = submit_times[&c.token];
+                prop_assert!(now >= t0 + min_latency, "completion faster than tCAS");
+            }
+            if queue.is_empty() && chan.quiesced() {
+                break;
+            }
+        }
+        prop_assert_eq!(submitted, completed);
+        prop_assert_eq!(submitted, addrs.len() as u64);
+    }
+
+    /// The crossbar delivers every accepted packet exactly once, to the
+    /// right port.
+    #[test]
+    fn crossbar_delivers_everything(
+        pkts in prop::collection::vec((0usize..4, 0usize..3, 0u32..256), 1..50)
+    ) {
+        let mut x: Crossbar<(usize, usize)> = Crossbar::new(XbarConfig {
+            in_ports: 4,
+            out_ports: 3,
+            latency: 4,
+            flit_bytes: 32,
+            queue_len: 4,
+        });
+        let mut pending: VecDeque<(usize, usize, u32)> = pkts.iter().copied().collect();
+        let mut sent = 0usize;
+        let mut got = vec![0usize; 3];
+        for now in 0..10_000u64 {
+            if let Some(&(src, dst, size)) = pending.front() {
+                if x.try_send(now, src, dst, size, (src, dst)) {
+                    sent += 1;
+                    pending.pop_front();
+                }
+            }
+            x.tick(now);
+            for d in 0..3 {
+                while let Some((_, pdst)) = x.pop_delivered(d) {
+                    prop_assert_eq!(pdst, d, "misrouted packet");
+                    got[d] += 1;
+                }
+            }
+            if pending.is_empty() && x.quiesced() {
+                break;
+            }
+        }
+        prop_assert_eq!(sent, pkts.len());
+        prop_assert_eq!(got.iter().sum::<usize>(), sent);
+    }
+}

@@ -1,0 +1,156 @@
+//! Memory-access coalescing and shared-memory bank-conflict modeling.
+//!
+//! Global accesses: the 32 lanes of a warp are merged into the minimal set
+//! of 128-byte line transactions (Fermi-style). A fully coalesced warp
+//! load of 4-byte elements produces one transaction; a strided or random
+//! pattern produces up to 32.
+//!
+//! Shared accesses: 32 banks, 4 bytes wide. The access replays once per
+//! maximum number of distinct addresses mapping to the same bank
+//! (broadcast of an identical address is conflict-free).
+
+use crate::simt::LaneMask;
+use gpgpu_isa::WARP_SIZE;
+use std::collections::BTreeSet;
+
+/// Coalesces the active lanes' byte addresses into distinct line
+/// transactions. Returns line-aligned addresses in ascending order
+/// (deterministic).
+///
+/// `width` is the per-lane access size in bytes; an access straddling a
+/// line boundary contributes both lines.
+pub fn coalesce(
+    addrs: &[u64; WARP_SIZE],
+    mask: LaneMask,
+    width: u64,
+    line_bytes: u64,
+) -> Vec<u64> {
+    debug_assert!(line_bytes.is_power_of_two());
+    let mut lines = BTreeSet::new();
+    for lane in 0..WARP_SIZE {
+        if mask & (1 << lane) == 0 {
+            continue;
+        }
+        let first = addrs[lane] & !(line_bytes - 1);
+        let last = (addrs[lane] + width - 1) & !(line_bytes - 1);
+        lines.insert(first);
+        if last != first {
+            lines.insert(last);
+        }
+    }
+    lines.into_iter().collect()
+}
+
+/// Number of shared-memory banks (Fermi: 32, 4 bytes wide).
+pub const SHARED_BANKS: u64 = 32;
+/// Bank width in bytes.
+pub const SHARED_BANK_BYTES: u64 = 4;
+
+/// Number of serialized passes a shared-memory warp access needs: the
+/// maximum, over banks, of the number of *distinct* words the active lanes
+/// address in that bank. Identical addresses broadcast in one pass.
+/// Returns 0 when no lane is active.
+pub fn shared_conflict_passes(addrs: &[u64; WARP_SIZE], mask: LaneMask) -> u32 {
+    let mut per_bank: [BTreeSet<u64>; 32] = Default::default();
+    for lane in 0..WARP_SIZE {
+        if mask & (1 << lane) == 0 {
+            continue;
+        }
+        let word = addrs[lane] / SHARED_BANK_BYTES;
+        let bank = (word % SHARED_BANKS) as usize;
+        per_bank[bank].insert(word);
+    }
+    per_bank.iter().map(|s| s.len() as u32).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addrs_from(f: impl Fn(usize) -> u64) -> [u64; WARP_SIZE] {
+        std::array::from_fn(f)
+    }
+
+    #[test]
+    fn unit_stride_coalesces_to_one_line() {
+        let a = addrs_from(|l| 0x1000 + 4 * l as u64);
+        let lines = coalesce(&a, u32::MAX, 4, 128);
+        assert_eq!(lines, vec![0x1000]);
+    }
+
+    #[test]
+    fn unit_stride_u64_spans_two_lines() {
+        let a = addrs_from(|l| 0x1000 + 8 * l as u64);
+        let lines = coalesce(&a, u32::MAX, 8, 128);
+        assert_eq!(lines, vec![0x1000, 0x1080]);
+    }
+
+    #[test]
+    fn misaligned_warp_touches_two_lines() {
+        let a = addrs_from(|l| 0x1010 + 4 * l as u64);
+        let lines = coalesce(&a, u32::MAX, 4, 128);
+        assert_eq!(lines, vec![0x1000, 0x1080]);
+    }
+
+    #[test]
+    fn large_stride_serializes() {
+        let a = addrs_from(|l| 0x0 + 128 * l as u64);
+        let lines = coalesce(&a, u32::MAX, 4, 128);
+        assert_eq!(lines.len(), 32);
+    }
+
+    #[test]
+    fn inactive_lanes_ignored() {
+        let a = addrs_from(|l| 128 * l as u64);
+        let lines = coalesce(&a, 0b1, 4, 128);
+        assert_eq!(lines, vec![0]);
+        assert!(coalesce(&a, 0, 4, 128).is_empty());
+    }
+
+    #[test]
+    fn straddling_access_takes_both_lines() {
+        let mut a = [0u64; WARP_SIZE];
+        a[0] = 126; // 4-byte access crossing the 128B boundary
+        let lines = coalesce(&a, 0b1, 4, 128);
+        assert_eq!(lines, vec![0, 128]);
+    }
+
+    #[test]
+    fn same_line_lanes_merge() {
+        let a = addrs_from(|_| 0x2004);
+        let lines = coalesce(&a, u32::MAX, 4, 128);
+        assert_eq!(lines, vec![0x2000]);
+    }
+
+    #[test]
+    fn shared_conflict_free_unit_stride() {
+        let a = addrs_from(|l| 4 * l as u64);
+        assert_eq!(shared_conflict_passes(&a, u32::MAX), 1);
+    }
+
+    #[test]
+    fn shared_broadcast_is_one_pass() {
+        let a = addrs_from(|_| 16);
+        assert_eq!(shared_conflict_passes(&a, u32::MAX), 1);
+    }
+
+    #[test]
+    fn shared_two_way_conflict() {
+        // Stride of 2 words: lanes 0 and 16 hit bank 0 with distinct words.
+        let a = addrs_from(|l| 8 * l as u64);
+        assert_eq!(shared_conflict_passes(&a, u32::MAX), 2);
+    }
+
+    #[test]
+    fn shared_worst_case_32_way() {
+        // All lanes hit bank 0 with distinct words.
+        let a = addrs_from(|l| 128 * l as u64);
+        assert_eq!(shared_conflict_passes(&a, u32::MAX), 32);
+    }
+
+    #[test]
+    fn shared_empty_mask_is_zero_passes() {
+        let a = [0u64; WARP_SIZE];
+        assert_eq!(shared_conflict_passes(&a, 0), 0);
+    }
+}

@@ -1,0 +1,1498 @@
+//! The SM (streaming multiprocessor) model: warp contexts, scoreboards,
+//! issue logic, the load/store unit with its L1 cache, shared memory, and
+//! CTA slot/resource management.
+//!
+//! Execution is *timing-first, functional-now*: an instruction's effects
+//! (register writes, memory updates) happen at issue time, while its
+//! latency is enforced by per-register scoreboard bits that clear when the
+//! modeled writeback completes. Loads additionally hold their destination
+//! register until every coalesced line transaction returns from the memory
+//! hierarchy.
+
+use crate::coalesce::{coalesce, shared_conflict_passes};
+use crate::config::GpuConfig;
+use crate::memory::{GlobalMem, SharedMem};
+use crate::sched_api::{
+    CtaIssueSample, IssueView, KernelId, WarpMeta, WarpScheduler, WarpSchedulerFactory,
+};
+use crate::simt::{LaneMask, SimtStack};
+use gpgpu_isa::{
+    sem, AccessWidth, ExecClass, Instr, Instruction, KernelDescriptor, MemSpace, Operand, Pc,
+    SpecialReg, WARP_SIZE,
+};
+use gpgpu_mem::{
+    cache::DownstreamKind, Access, AccessKind, Cache, Cycle, MemFabric, MemRequest, MemResponse,
+    ReqId,
+};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// Per-core issue/stall statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions issued (warp-instructions, not lane-ops).
+    pub issued: u64,
+    /// Scheduler-slot cycles with no resident warps at all.
+    pub idle_slots: u64,
+    /// Scheduler-slot cycles where warps existed but none were ready.
+    pub stalled_slots: u64,
+    /// Scheduler-slot cycles that issued.
+    pub issued_slots: u64,
+    /// Global-memory line transactions generated.
+    pub gmem_transactions: u64,
+    /// Shared-memory replays beyond the first pass (bank conflicts).
+    pub shared_replays: u64,
+    /// CTAs completed.
+    pub ctas_completed: u64,
+}
+
+/// A CTA that retired from this core this cycle (the device wraps this
+/// into a [`CtaCompleteEvent`](crate::sched_api::CtaCompleteEvent)).
+#[derive(Debug, Clone)]
+pub struct CoreCtaCompletion {
+    /// Kernel the CTA belonged to.
+    pub kernel: KernelId,
+    /// Global CTA id.
+    pub cta_id: u64,
+    /// CTAs of that kernel completed on this core so far (including this).
+    pub completed_on_core: u64,
+    /// Cumulative instructions this core has issued for the kernel.
+    pub core_kernel_issued: u64,
+    /// Issue snapshot of all CTA slots at completion time.
+    pub slot_snapshot: Vec<CtaIssueSample>,
+}
+
+#[derive(Debug)]
+struct CtaState {
+    kernel: KernelId,
+    cta_id: u64,
+    desc: Arc<KernelDescriptor>,
+    warp_slots: Vec<usize>,
+    live_warps: u32,
+    barrier_arrived: u32,
+    issued: u64,
+    shared: SharedMem,
+}
+
+#[derive(Debug)]
+struct Warp {
+    kernel: KernelId,
+    cta_slot: usize,
+    cta_id: u64,
+    warp_in_cta: u32,
+    desc: Arc<KernelDescriptor>,
+    stack: SimtStack,
+    exited: LaneMask,
+    regs: Vec<[u64; WARP_SIZE]>,
+    preds: Vec<LaneMask>,
+    pending_regs: u64,
+    pending_preds: u8,
+    outstanding_loads: u32,
+    at_barrier: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum WbEvent {
+    /// Clear the scoreboard bit of a register.
+    Reg { warp: usize, reg: u8 },
+    /// Clear the scoreboard bit of a predicate.
+    Pred { warp: usize, pred: u8 },
+    /// One line transaction of a tracked load finished.
+    LoadPartDone { token: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Txn {
+    id: ReqId,
+    line: u64,
+    token: Option<u64>,
+    is_store: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct LoadTrack {
+    warp: usize,
+    reg: u8,
+    remaining: u32,
+}
+
+/// Why a resident warp cannot issue this cycle (diagnostics/tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NotReady {
+    Barrier,
+    Scoreboard,
+    Structural,
+    Finished,
+}
+
+/// One streaming multiprocessor.
+pub struct Core {
+    id: usize,
+    cfg: Arc<GpuConfig>,
+    cta_slots: Vec<Option<CtaState>>,
+    warps: Vec<Option<Warp>>,
+    warp_meta: Vec<Option<WarpMeta>>,
+    schedulers: Vec<Box<dyn WarpScheduler>>,
+    used_threads: u32,
+    used_warps: u32,
+    used_regs: u32,
+    used_smem: u32,
+    l1: Cache,
+    lsq: VecDeque<Txn>,
+    staged_downstream: Option<gpgpu_mem::cache::Downstream>,
+    load_tracks: BTreeMap<u64, LoadTrack>,
+    txn_wait: BTreeMap<ReqId, u64>,
+    fill_wait: BTreeMap<ReqId, u64>,
+    next_token: u64,
+    next_req: u64,
+    wb_events: BTreeMap<Cycle, Vec<WbEvent>>,
+    /// Warp slots that finished while the schedulers were detached for
+    /// the issue stage; they are notified right after.
+    finished_warps: Vec<usize>,
+    shared_pipe_free: Cycle,
+    stats: CoreStats,
+    issued_per_kernel: BTreeMap<KernelId, u64>,
+    completed_per_kernel: BTreeMap<KernelId, u64>,
+}
+
+impl std::fmt::Debug for Core {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Core")
+            .field("id", &self.id)
+            .field("ctas", &self.active_cta_count())
+            .field("warps", &self.used_warps)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Core {
+    /// Builds core `id` with scheduler instances from `factory`.
+    pub fn new(id: usize, cfg: Arc<GpuConfig>, factory: &dyn WarpSchedulerFactory) -> Self {
+        let schedulers = (0..cfg.num_sched_per_core as usize)
+            .map(|s| factory.create(id, s))
+            .collect();
+        Core {
+            id,
+            cta_slots: (0..cfg.max_ctas_per_core as usize).map(|_| None).collect(),
+            warps: (0..cfg.max_warps_per_core as usize).map(|_| None).collect(),
+            warp_meta: (0..cfg.max_warps_per_core as usize).map(|_| None).collect(),
+            schedulers,
+            used_threads: 0,
+            used_warps: 0,
+            used_regs: 0,
+            used_smem: 0,
+            l1: Cache::new(cfg.l1.clone()),
+            lsq: VecDeque::new(),
+            staged_downstream: None,
+            load_tracks: BTreeMap::new(),
+            txn_wait: BTreeMap::new(),
+            fill_wait: BTreeMap::new(),
+            next_token: 0,
+            next_req: 0,
+            wb_events: BTreeMap::new(),
+            finished_warps: Vec::new(),
+            shared_pipe_free: 0,
+            stats: CoreStats::default(),
+            issued_per_kernel: BTreeMap::new(),
+            completed_per_kernel: BTreeMap::new(),
+            cfg,
+        }
+    }
+
+    /// This core's index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of resident CTAs.
+    pub fn active_cta_count(&self) -> u32 {
+        self.cta_slots.iter().filter(|s| s.is_some()).count() as u32
+    }
+
+    /// Resident CTAs belonging to `kernel`.
+    pub fn cta_count_of(&self, kernel: KernelId) -> u32 {
+        self.cta_slots
+            .iter()
+            .filter(|s| s.as_ref().is_some_and(|c| c.kernel == kernel))
+            .count() as u32
+    }
+
+    /// CTAs of `kernel` completed on this core so far.
+    pub fn completed_of(&self, kernel: KernelId) -> u64 {
+        self.completed_per_kernel.get(&kernel).copied().unwrap_or(0)
+    }
+
+    /// Instructions issued for `kernel` on this core.
+    pub fn issued_of(&self, kernel: KernelId) -> u64 {
+        self.issued_per_kernel.get(&kernel).copied().unwrap_or(0)
+    }
+
+    /// How many additional CTAs of `desc` fit right now, considering CTA
+    /// slots, threads, warps, registers, and shared memory.
+    pub fn capacity_for(&self, desc: &KernelDescriptor) -> u32 {
+        let free_slots = self.cta_slots.iter().filter(|s| s.is_none()).count() as u32;
+        let threads = desc.threads_per_cta();
+        let warps = desc.warps_per_cta();
+        let by_threads = (self.cfg.max_threads_per_core - self.used_threads) / threads;
+        let by_warps = (self.cfg.max_warps_per_core - self.used_warps) / warps;
+        let regs_per_cta = desc.regs_per_thread() * threads;
+        let by_regs = if regs_per_cta == 0 {
+            u32::MAX
+        } else {
+            (self.cfg.regfile_per_core - self.used_regs) / regs_per_cta
+        };
+        let by_smem = if desc.smem_per_cta() == 0 {
+            u32::MAX
+        } else {
+            (self.cfg.smem_per_core - self.used_smem) / desc.smem_per_cta()
+        };
+        free_slots
+            .min(by_threads)
+            .min(by_warps)
+            .min(by_regs)
+            .min(by_smem)
+    }
+
+    /// The hardware occupancy limit for `desc` on an empty core
+    /// (`min(max_ctas, resource limits)`) — the baseline "max CTAs" the
+    /// paper's LCS throttles below.
+    pub fn hw_max_ctas(cfg: &GpuConfig, desc: &KernelDescriptor) -> u32 {
+        let threads = desc.threads_per_cta();
+        let warps = desc.warps_per_cta();
+        let regs_per_cta = desc.regs_per_thread() * threads;
+        let by_regs = if regs_per_cta == 0 {
+            u32::MAX
+        } else {
+            cfg.regfile_per_core / regs_per_cta
+        };
+        let by_smem = if desc.smem_per_cta() == 0 {
+            u32::MAX
+        } else {
+            cfg.smem_per_core / desc.smem_per_cta()
+        };
+        cfg.max_ctas_per_core
+            .min(cfg.max_threads_per_core / threads)
+            .min(cfg.max_warps_per_core / warps)
+            .min(by_regs)
+            .min(by_smem)
+    }
+
+    /// Installs one CTA. The caller must have verified capacity with
+    /// [`capacity_for`](Self::capacity_for).
+    ///
+    /// `age` supplies monotonically increasing dispatch stamps for the
+    /// CTA's warps (GTO's notion of age).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CTA does not fit.
+    pub fn dispatch_cta(
+        &mut self,
+        kernel: KernelId,
+        cta_id: u64,
+        desc: &Arc<KernelDescriptor>,
+        age: &mut u64,
+    ) {
+        assert!(self.capacity_for(desc) >= 1, "CTA does not fit on core");
+        let slot = self
+            .cta_slots
+            .iter()
+            .position(|s| s.is_none())
+            .expect("free CTA slot");
+        let warps_needed = desc.warps_per_cta() as usize;
+        let threads = desc.threads_per_cta();
+        let mut warp_slots = Vec::with_capacity(warps_needed);
+        for (w, entry) in self.warps.iter().enumerate() {
+            if entry.is_none() {
+                warp_slots.push(w);
+                if warp_slots.len() == warps_needed {
+                    break;
+                }
+            }
+        }
+        assert_eq!(warp_slots.len(), warps_needed, "free warp slots");
+
+        let reg_count = desc.program().reg_count().max(1) as usize;
+        let pred_count = desc.program().pred_count() as usize;
+        for (i, &w) in warp_slots.iter().enumerate() {
+            let warp_in_cta = i as u32;
+            let base = warp_in_cta * WARP_SIZE as u32;
+            let mut mask: LaneMask = 0;
+            for lane in 0..WARP_SIZE as u32 {
+                if base + lane < threads {
+                    mask |= 1 << lane;
+                }
+            }
+            *age += 1;
+            let meta = WarpMeta {
+                kernel,
+                cta_id,
+                cta_slot: slot,
+                warp_in_cta,
+                age: *age,
+                issued: 0,
+            };
+            self.warps[w] = Some(Warp {
+                kernel,
+                cta_slot: slot,
+                cta_id,
+                warp_in_cta,
+                desc: Arc::clone(desc),
+                stack: SimtStack::new(mask),
+                exited: 0,
+                regs: vec![[0; WARP_SIZE]; reg_count],
+                preds: vec![0; pred_count],
+                pending_regs: 0,
+                pending_preds: 0,
+                outstanding_loads: 0,
+                at_barrier: false,
+            });
+            self.warp_meta[w] = Some(meta);
+            for s in &mut self.schedulers {
+                s.on_warp_start(w, &meta);
+            }
+        }
+        self.used_threads += threads;
+        self.used_warps += desc.warps_per_cta();
+        self.used_regs += desc.regs_per_thread() * threads;
+        self.used_smem += desc.smem_per_cta();
+        self.cta_slots[slot] = Some(CtaState {
+            kernel,
+            cta_id,
+            desc: Arc::clone(desc),
+            warp_slots,
+            live_warps: desc.warps_per_cta(),
+            barrier_arrived: 0,
+            issued: 0,
+            shared: SharedMem::new(desc.smem_per_cta()),
+        });
+    }
+
+    /// Issue-count snapshot of the resident CTA slots.
+    pub fn cta_slot_snapshot(&self) -> Vec<CtaIssueSample> {
+        self.cta_slots
+            .iter()
+            .flatten()
+            .map(|c| CtaIssueSample {
+                kernel: c.kernel,
+                cta_id: c.cta_id,
+                issued: c.issued,
+                running: true,
+            })
+            .collect()
+    }
+
+    /// Handles a memory-fabric response (an L1 line fill).
+    pub fn handle_response(&mut self, now: Cycle, resp: MemResponse) {
+        let Some(line) = self.fill_wait.remove(&resp.id) else {
+            return; // not ours / already handled
+        };
+        let out = self.l1.fill(line, now);
+        for txn_id in out.ready {
+            if let Some(token) = self.txn_wait.remove(&txn_id) {
+                self.wb_events
+                    .entry(now)
+                    .or_default()
+                    .push(WbEvent::LoadPartDone { token });
+            }
+        }
+    }
+
+    /// Invalidates the L1 (kernel-boundary cold cache).
+    pub fn flush_l1(&mut self) {
+        self.l1.flush();
+    }
+
+    /// L1 statistics.
+    pub fn l1_stats(&self) -> &gpgpu_mem::CacheStats {
+        self.l1.stats()
+    }
+
+    /// Core statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.stats
+    }
+
+    /// Whether the core holds no work at all.
+    pub fn is_idle(&self) -> bool {
+        self.cta_slots.iter().all(Option::is_none)
+            && self.lsq.is_empty()
+            && self.load_tracks.is_empty()
+            && self.fill_wait.is_empty()
+            && self.staged_downstream.is_none()
+            && !self.l1.has_downstream()
+    }
+
+    fn fresh_req_id(&mut self) -> ReqId {
+        self.next_req += 1;
+        ReqId(((self.id as u64) << 48) | self.next_req)
+    }
+
+    /// Advances the core one cycle. Returns CTAs that retired.
+    pub fn cycle(
+        &mut self,
+        now: Cycle,
+        fabric: &mut MemFabric,
+        gmem: &mut GlobalMem,
+    ) -> Vec<CoreCtaCompletion> {
+        self.process_writebacks(now);
+        self.pump_memory(now, fabric);
+        self.issue(now, gmem)
+    }
+
+    fn process_writebacks(&mut self, now: Cycle) {
+        while let Some((&t, _)) = self.wb_events.first_key_value() {
+            if t > now {
+                break;
+            }
+            let (_, events) = self.wb_events.pop_first().expect("checked nonempty");
+            for ev in events {
+                match ev {
+                    WbEvent::Reg { warp, reg } => {
+                        if let Some(w) = self.warps[warp].as_mut() {
+                            w.pending_regs &= !(1u64 << reg);
+                        }
+                    }
+                    WbEvent::Pred { warp, pred } => {
+                        if let Some(w) = self.warps[warp].as_mut() {
+                            w.pending_preds &= !(1u8 << pred);
+                        }
+                    }
+                    WbEvent::LoadPartDone { token } => {
+                        let Some(track) = self.load_tracks.get_mut(&token) else {
+                            continue;
+                        };
+                        track.remaining -= 1;
+                        if track.remaining == 0 {
+                            let track = self.load_tracks.remove(&token).expect("present");
+                            if let Some(w) = self.warps[track.warp].as_mut() {
+                                w.pending_regs &= !(1u64 << track.reg);
+                                w.outstanding_loads -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drives the load/store unit: L1 accesses for queued transactions and
+    /// forwarding of L1 downstream traffic to the fabric.
+    fn pump_memory(&mut self, now: Cycle, fabric: &mut MemFabric) {
+        // One L1 port: service the head transaction.
+        if let Some(&txn) = self.lsq.front() {
+            let kind = if txn.is_store {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let id = (!txn.is_store).then_some(txn.id);
+            match self.l1.access(txn.line, kind, id, now) {
+                Access::Hit => {
+                    if let Some(token) = txn.token {
+                        self.wb_events
+                            .entry(now + u64::from(self.cfg.l1_latency))
+                            .or_default()
+                            .push(WbEvent::LoadPartDone { token });
+                    }
+                    self.lsq.pop_front();
+                }
+                Access::Miss | Access::MissMerged => {
+                    if let Some(token) = txn.token {
+                        self.txn_wait.insert(txn.id, token);
+                    }
+                    self.lsq.pop_front();
+                }
+                Access::MissNoAlloc => {
+                    self.lsq.pop_front();
+                }
+                Access::Fail(_) => {} // structural: retry next cycle
+            }
+        }
+
+        // Forward L1 downstream messages (fetches, write-throughs,
+        // writebacks) into the fabric.
+        loop {
+            if self.staged_downstream.is_none() {
+                self.staged_downstream = self.l1.pop_downstream();
+            }
+            let Some(d) = self.staged_downstream else {
+                break;
+            };
+            let (kind, size) = match d.kind {
+                DownstreamKind::Fetch => (AccessKind::Load, 0),
+                DownstreamKind::WriteThrough | DownstreamKind::Writeback => {
+                    (AccessKind::Store, d.size)
+                }
+            };
+            let id = self.fresh_req_id();
+            let req = MemRequest {
+                id,
+                addr: d.addr,
+                size,
+                kind,
+                core: self.id,
+            };
+            if fabric.try_submit(now, req) {
+                if matches!(d.kind, DownstreamKind::Fetch) {
+                    self.fill_wait.insert(id, d.addr);
+                }
+                self.staged_downstream = None;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Whether the warp in `slot` could issue its next instruction now.
+    fn readiness(&mut self, slot: usize, now: Cycle) -> Result<(), NotReady> {
+        let lsq_cap = self.cfg.ldst_queue_len;
+        let lsq_len = self.lsq.len();
+        let shared_free = self.shared_pipe_free <= now;
+        let Some(w) = self.warps[slot].as_mut() else {
+            return Err(NotReady::Finished);
+        };
+        if w.at_barrier {
+            return Err(NotReady::Barrier);
+        }
+        let Some((pc, _mask)) = w.stack.sync(w.exited) else {
+            return Err(NotReady::Finished);
+        };
+        let ins = *w.desc.program().fetch(pc);
+        // Scoreboard: sources, destination, and involved predicates.
+        let reg_pending = |r: gpgpu_isa::Reg| w.pending_regs & (1u64 << r.0) != 0;
+        let pred_pending = |p: gpgpu_isa::Pred| w.pending_preds & (1u8 << p.0) != 0;
+        if let Some(g) = ins.guard {
+            if pred_pending(g.pred) {
+                return Err(NotReady::Scoreboard);
+            }
+        }
+        if ins.src_regs().iter().any(|r| reg_pending(*r)) {
+            return Err(NotReady::Scoreboard);
+        }
+        if let Some(d) = ins.dst_reg() {
+            if reg_pending(d) {
+                return Err(NotReady::Scoreboard);
+            }
+        }
+        match &ins.op {
+            Instr::SetP { dst, .. } => {
+                if pred_pending(*dst) {
+                    return Err(NotReady::Scoreboard);
+                }
+            }
+            Instr::PBool { dst, a, b, .. } => {
+                if pred_pending(*dst) || pred_pending(*a) || pred_pending(*b) {
+                    return Err(NotReady::Scoreboard);
+                }
+            }
+            Instr::Sel { pred, .. } => {
+                if pred_pending(*pred) {
+                    return Err(NotReady::Scoreboard);
+                }
+            }
+            Instr::BraCond { pred, .. } => {
+                if pred_pending(*pred) {
+                    return Err(NotReady::Scoreboard);
+                }
+            }
+            Instr::Exit => {
+                if w.pending_regs != 0 || w.pending_preds != 0 || w.outstanding_loads != 0 {
+                    return Err(NotReady::Scoreboard);
+                }
+            }
+            _ => {}
+        }
+        // Structural hazards.
+        match ins.exec_class() {
+            ExecClass::MemGlobal => {
+                if lsq_len >= lsq_cap {
+                    return Err(NotReady::Structural);
+                }
+            }
+            ExecClass::MemShared => {
+                if !shared_free {
+                    return Err(NotReady::Structural);
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// The per-scheduler issue stage.
+    fn issue(&mut self, now: Cycle, gmem: &mut GlobalMem) -> Vec<CoreCtaCompletion> {
+        let mut completions = Vec::new();
+        let nsched = self.schedulers.len();
+        let mut schedulers = std::mem::take(&mut self.schedulers);
+        for (s, sched) in schedulers.iter_mut().enumerate() {
+            let mut occupied_any = false;
+            let mut candidates = Vec::new();
+            for slot in (s..self.warps.len()).step_by(nsched) {
+                if self.warps[slot].is_some() {
+                    occupied_any = true;
+                    if self.readiness(slot, now).is_ok() {
+                        candidates.push(slot);
+                    }
+                }
+            }
+            if !occupied_any {
+                self.stats.idle_slots += 1;
+                continue;
+            }
+            if candidates.is_empty() {
+                self.stats.stalled_slots += 1;
+                continue;
+            }
+            let view = IssueView::new(now, self.id, &self.warp_meta);
+            let picked = sched.pick(&view, &candidates);
+            let Some(slot) = picked.filter(|p| candidates.contains(p)) else {
+                self.stats.stalled_slots += 1;
+                continue;
+            };
+            sched.on_issue(slot);
+            self.stats.issued_slots += 1;
+            if let Some(c) = self.execute_one(slot, now, gmem) {
+                completions.push(c);
+            }
+        }
+        self.schedulers = schedulers;
+        for slot in std::mem::take(&mut self.finished_warps) {
+            for s in &mut self.schedulers {
+                s.on_warp_finish(slot);
+            }
+        }
+        completions
+    }
+
+    /// Executes the next instruction of the warp in `slot` (readiness
+    /// already verified). Returns a completion if this retired the warp's
+    /// CTA.
+    fn execute_one(
+        &mut self,
+        slot: usize,
+        now: Cycle,
+        gmem: &mut GlobalMem,
+    ) -> Option<CoreCtaCompletion> {
+        let cfg = Arc::clone(&self.cfg);
+        let Core {
+            warps,
+            cta_slots,
+            warp_meta,
+            lsq,
+            wb_events,
+            load_tracks,
+            next_token,
+            next_req,
+            shared_pipe_free,
+            stats,
+            issued_per_kernel,
+            id: core_id,
+            ..
+        } = self;
+        let w = warps[slot].as_mut().expect("warp present");
+        let (pc, mask) = w.stack.sync(w.exited).expect("ready warp has a pc");
+        let ins = *w.desc.program().fetch(pc);
+
+        // Effective lane set: active mask restricted by the guard.
+        let exec_mask = match ins.guard {
+            Some(g) => {
+                let pv = w.preds[g.pred.0 as usize];
+                mask & if g.expect { pv } else { !pv }
+            }
+            None => mask,
+        };
+
+        // Statistics.
+        stats.issued += 1;
+        *issued_per_kernel.entry(w.kernel).or_insert(0) += 1;
+        if let Some(m) = warp_meta[slot].as_mut() {
+            m.issued += 1;
+        }
+        let cta = cta_slots[w.cta_slot].as_mut().expect("cta present");
+        cta.issued += 1;
+
+        let read = |w: &Warp, op: Operand, lane: usize| -> u64 {
+            match op {
+                Operand::Reg(r) => w.regs[r.0 as usize][lane],
+                Operand::Imm(v) => v,
+            }
+        };
+        let lanes = |m: LaneMask| (0..WARP_SIZE).filter(move |l| m & (1 << l) != 0);
+
+        macro_rules! schedule_reg_wb {
+            ($t:expr, $reg:expr) => {
+                wb_events.entry($t).or_default().push(WbEvent::Reg {
+                    warp: slot,
+                    reg: $reg,
+                })
+            };
+        }
+
+        match ins.op {
+            Instr::Alu { op, dst, a, b, c } => {
+                for lane in lanes(exec_mask) {
+                    let (av, bv, cv) = (read(w, a, lane), read(w, b, lane), read(w, c, lane));
+                    w.regs[dst.0 as usize][lane] = sem::eval_alu(op, av, bv, cv);
+                }
+                let lat = match ins.exec_class() {
+                    ExecClass::Sfu => cfg.sfu_latency,
+                    ExecClass::FpAlu => cfg.fp_latency,
+                    _ => cfg.int_latency,
+                };
+                w.pending_regs |= 1u64 << dst.0;
+                schedule_reg_wb!(now + u64::from(lat), dst.0);
+                w.stack.advance();
+            }
+            Instr::Mov { dst, src } => {
+                for lane in lanes(exec_mask) {
+                    w.regs[dst.0 as usize][lane] = read(w, src, lane);
+                }
+                w.pending_regs |= 1u64 << dst.0;
+                schedule_reg_wb!(now + u64::from(cfg.int_latency), dst.0);
+                w.stack.advance();
+            }
+            Instr::Special { dst, sreg } => {
+                for lane in lanes(exec_mask) {
+                    w.regs[dst.0 as usize][lane] =
+                        special_value(sreg, &w.desc, w.cta_id, w.warp_in_cta, lane);
+                }
+                w.pending_regs |= 1u64 << dst.0;
+                schedule_reg_wb!(now + u64::from(cfg.int_latency), dst.0);
+                w.stack.advance();
+            }
+            Instr::Param { dst, index } => {
+                let v = w.desc.params()[index as usize];
+                for lane in lanes(exec_mask) {
+                    w.regs[dst.0 as usize][lane] = v;
+                }
+                w.pending_regs |= 1u64 << dst.0;
+                schedule_reg_wb!(now + u64::from(cfg.int_latency), dst.0);
+                w.stack.advance();
+            }
+            Instr::SetP { dst, cmp, ty, a, b } => {
+                let mut pv = w.preds[dst.0 as usize];
+                for lane in lanes(exec_mask) {
+                    let r = sem::eval_cmp(cmp, ty, read(w, a, lane), read(w, b, lane));
+                    if r {
+                        pv |= 1 << lane;
+                    } else {
+                        pv &= !(1 << lane);
+                    }
+                }
+                w.preds[dst.0 as usize] = pv;
+                w.pending_preds |= 1u8 << dst.0;
+                wb_events
+                    .entry(now + u64::from(cfg.int_latency))
+                    .or_default()
+                    .push(WbEvent::Pred { warp: slot, pred: dst.0 });
+                w.stack.advance();
+            }
+            Instr::PBool { dst, op, a, b } => {
+                let (av, bv) = (w.preds[a.0 as usize], w.preds[b.0 as usize]);
+                let mut pv = w.preds[dst.0 as usize];
+                for lane in lanes(exec_mask) {
+                    let bit = 1u32 << lane;
+                    let r = sem::eval_pbool(op, av & bit != 0, bv & bit != 0);
+                    if r {
+                        pv |= bit;
+                    } else {
+                        pv &= !bit;
+                    }
+                }
+                w.preds[dst.0 as usize] = pv;
+                w.pending_preds |= 1u8 << dst.0;
+                wb_events
+                    .entry(now + u64::from(cfg.int_latency))
+                    .or_default()
+                    .push(WbEvent::Pred { warp: slot, pred: dst.0 });
+                w.stack.advance();
+            }
+            Instr::Sel { dst, pred, a, b } => {
+                let pv = w.preds[pred.0 as usize];
+                for lane in lanes(exec_mask) {
+                    let v = if pv & (1 << lane) != 0 {
+                        read(w, a, lane)
+                    } else {
+                        read(w, b, lane)
+                    };
+                    w.regs[dst.0 as usize][lane] = v;
+                }
+                w.pending_regs |= 1u64 << dst.0;
+                schedule_reg_wb!(now + u64::from(cfg.int_latency), dst.0);
+                w.stack.advance();
+            }
+            Instr::Bra { target } => {
+                w.stack.jump(target);
+            }
+            Instr::BraCond {
+                pred,
+                neg,
+                target,
+                reconv,
+            } => {
+                let pv = w.preds[pred.0 as usize];
+                let cond = if neg { !pv } else { pv };
+                let taken = mask & cond;
+                let fall = mask & !cond;
+                w.stack.branch(taken, fall, target, reconv);
+            }
+            Instr::Bar => {
+                w.stack.advance();
+                w.at_barrier = true;
+                cta.barrier_arrived += 1;
+                if cta.barrier_arrived >= cta.live_warps {
+                    cta.barrier_arrived = 0;
+                    for &ws in &cta.warp_slots {
+                        if let Some(other) = warps_get_mut(warps, ws, slot) {
+                            other.at_barrier = false;
+                        }
+                    }
+                    // `warps_get_mut` cannot hand back `slot` itself, so
+                    // clear it explicitly.
+                    warps[slot].as_mut().expect("self").at_barrier = false;
+                }
+            }
+            Instr::Ld { space, dst, addr, width } => {
+                let mut addrs = [0u64; WARP_SIZE];
+                for lane in lanes(exec_mask) {
+                    addrs[lane] =
+                        w.regs[addr.base.0 as usize][lane].wrapping_add(addr.offset as u64);
+                }
+                match space {
+                    MemSpace::Global => {
+                        // Functional read now.
+                        for lane in lanes(exec_mask) {
+                            let v = match width {
+                                AccessWidth::W4 => u64::from(gmem.read_u32(addrs[lane])),
+                                AccessWidth::W8 => gmem.read_u64(addrs[lane]),
+                            };
+                            w.regs[dst.0 as usize][lane] = v;
+                        }
+                        let lines = coalesce(
+                            &addrs,
+                            exec_mask,
+                            width.bytes(),
+                            u64::from(cfg.l1.line_bytes),
+                        );
+                        if lines.is_empty() {
+                            // Fully guarded off: behaves like a short ALU op.
+                            w.pending_regs |= 1u64 << dst.0;
+                            schedule_reg_wb!(now + u64::from(cfg.int_latency), dst.0);
+                        } else {
+                            stats.gmem_transactions += lines.len() as u64;
+                            *next_token += 1;
+                            let token = *next_token;
+                            load_tracks.insert(
+                                token,
+                                LoadTrack {
+                                    warp: slot,
+                                    reg: dst.0,
+                                    remaining: lines.len() as u32,
+                                },
+                            );
+                            w.pending_regs |= 1u64 << dst.0;
+                            w.outstanding_loads += 1;
+                            for line in lines {
+                                *next_req += 1;
+                                lsq.push_back(Txn {
+                                    id: ReqId(((*core_id as u64) << 48) | *next_req),
+                                    line,
+                                    token: Some(token),
+                                    is_store: false,
+                                });
+                            }
+                        }
+                    }
+                    MemSpace::Shared => {
+                        for lane in lanes(exec_mask) {
+                            let v = match width {
+                                AccessWidth::W4 => u64::from(cta.shared.read_u32(addrs[lane])),
+                                AccessWidth::W8 => cta.shared.read_u64(addrs[lane]),
+                            };
+                            w.regs[dst.0 as usize][lane] = v;
+                        }
+                        let passes = shared_conflict_passes(&addrs, exec_mask).max(1);
+                        stats.shared_replays += u64::from(passes - 1);
+                        *shared_pipe_free = now + u64::from(passes);
+                        w.pending_regs |= 1u64 << dst.0;
+                        schedule_reg_wb!(
+                            now + u64::from(cfg.shared_latency) + u64::from(passes - 1),
+                            dst.0
+                        );
+                    }
+                }
+                w.stack.advance();
+            }
+            Instr::St { space, src, addr, width } => {
+                let mut addrs = [0u64; WARP_SIZE];
+                for lane in lanes(exec_mask) {
+                    addrs[lane] =
+                        w.regs[addr.base.0 as usize][lane].wrapping_add(addr.offset as u64);
+                }
+                match space {
+                    MemSpace::Global => {
+                        for lane in lanes(exec_mask) {
+                            let v = read(w, src, lane);
+                            match width {
+                                AccessWidth::W4 => gmem.write_u32(addrs[lane], v as u32),
+                                AccessWidth::W8 => gmem.write_u64(addrs[lane], v),
+                            }
+                        }
+                        let lines = coalesce(
+                            &addrs,
+                            exec_mask,
+                            width.bytes(),
+                            u64::from(cfg.l1.line_bytes),
+                        );
+                        stats.gmem_transactions += lines.len() as u64;
+                        for line in lines {
+                            *next_req += 1;
+                            lsq.push_back(Txn {
+                                id: ReqId(((*core_id as u64) << 48) | *next_req),
+                                line,
+                                token: None,
+                                is_store: true,
+                            });
+                        }
+                    }
+                    MemSpace::Shared => {
+                        for lane in lanes(exec_mask) {
+                            let v = read(w, src, lane);
+                            match width {
+                                AccessWidth::W4 => cta.shared.write_u32(addrs[lane], v as u32),
+                                AccessWidth::W8 => cta.shared.write_u64(addrs[lane], v),
+                            }
+                        }
+                        let passes = shared_conflict_passes(&addrs, exec_mask).max(1);
+                        stats.shared_replays += u64::from(passes - 1);
+                        *shared_pipe_free = now + u64::from(passes);
+                    }
+                }
+                w.stack.advance();
+            }
+            Instr::Exit => {
+                w.exited |= exec_mask;
+                w.stack.advance();
+            }
+        }
+
+        // Did the warp finish?
+        let w = warps[slot].as_mut().expect("warp present");
+        if w.stack.is_done(w.exited) {
+            let cta_slot = w.cta_slot;
+            let kernel = w.kernel;
+            self.retire_warp(slot, cta_slot, kernel, now)
+        } else {
+            None
+        }
+    }
+
+    /// Removes a finished warp; retires its CTA if it was the last one.
+    fn retire_warp(
+        &mut self,
+        slot: usize,
+        cta_slot: usize,
+        kernel: KernelId,
+        _now: Cycle,
+    ) -> Option<CoreCtaCompletion> {
+        self.warps[slot] = None;
+        self.warp_meta[slot] = None;
+        self.finished_warps.push(slot);
+        let release_slots = {
+            let cta = self.cta_slots[cta_slot].as_mut().expect("cta present");
+            cta.live_warps -= 1;
+            if cta.live_warps > 0 {
+                // A warp exiting can release a barrier the rest wait at.
+                if cta.barrier_arrived >= cta.live_warps {
+                    cta.barrier_arrived = 0;
+                    Some(cta.warp_slots.clone())
+                } else {
+                    Some(Vec::new())
+                }
+            } else {
+                None
+            }
+        };
+        if let Some(release) = release_slots {
+            for ws in release {
+                if let Some(w) = self.warps[ws].as_mut() {
+                    w.at_barrier = false;
+                }
+            }
+            return None;
+        }
+        // CTA complete: snapshot first (including the finished CTA), then
+        // free resources.
+        let cta = self.cta_slots[cta_slot].take().expect("cta present");
+        let mut snapshot = self.cta_slot_snapshot();
+        snapshot.push(CtaIssueSample {
+            kernel: cta.kernel,
+            cta_id: cta.cta_id,
+            issued: cta.issued,
+            running: false,
+        });
+        let threads = cta.desc.threads_per_cta();
+        self.used_threads -= threads;
+        self.used_warps -= cta.desc.warps_per_cta();
+        self.used_regs -= cta.desc.regs_per_thread() * threads;
+        self.used_smem -= cta.desc.smem_per_cta();
+        self.stats.ctas_completed += 1;
+        let done = self.completed_per_kernel.entry(kernel).or_insert(0);
+        *done += 1;
+        Some(CoreCtaCompletion {
+            kernel,
+            cta_id: cta.cta_id,
+            completed_on_core: *done,
+            core_kernel_issued: self.issued_per_kernel.get(&kernel).copied().unwrap_or(0),
+            slot_snapshot: snapshot,
+        })
+    }
+}
+
+/// Mutable access to another warp slot while `exclude` is conceptually
+/// borrowed (used for barrier release; returns `None` for `exclude`).
+fn warps_get_mut(warps: &mut [Option<Warp>], idx: usize, exclude: usize) -> Option<&mut Warp> {
+    if idx == exclude {
+        None
+    } else {
+        warps[idx].as_mut()
+    }
+}
+
+/// Evaluates a special register for one lane.
+fn special_value(
+    sreg: SpecialReg,
+    desc: &KernelDescriptor,
+    cta_id: u64,
+    warp_in_cta: u32,
+    lane: usize,
+) -> u64 {
+    let lin = u64::from(warp_in_cta) * WARP_SIZE as u64 + lane as u64;
+    let ntid_x = u64::from(desc.block().x);
+    let (cx, cy) = desc.cta_coords(cta_id);
+    match sreg {
+        SpecialReg::TidX => lin % ntid_x,
+        SpecialReg::TidY => lin / ntid_x,
+        SpecialReg::NTidX => ntid_x,
+        SpecialReg::NTidY => u64::from(desc.block().y),
+        SpecialReg::CtaIdX => u64::from(cx),
+        SpecialReg::CtaIdY => u64::from(cy),
+        SpecialReg::NCtaIdX => u64::from(desc.grid().x),
+        SpecialReg::NCtaIdY => u64::from(desc.grid().y),
+        SpecialReg::LaneId => lane as u64,
+        SpecialReg::CtaLinear => cta_id,
+    }
+}
+
+/// Instruction-pointer-free helper used by tests and by readiness
+/// diagnostics: the name of a [`Pc`]'s instruction in `desc`.
+pub fn instr_name(desc: &KernelDescriptor, pc: Pc) -> String {
+    let ins: &Instruction = desc.program().fetch(pc);
+    format!("{ins}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched_api::WarpSchedulerFactory;
+    use gpgpu_isa::{CmpOp, CmpTy, Dim2, KernelBuilder};
+    use gpgpu_mem::FabricConfig;
+
+    /// Trivial loose-round-robin scheduler for core unit tests (the real
+    /// policies live in `tbs-core`).
+    #[derive(Debug)]
+    struct TestSched {
+        last: usize,
+    }
+
+    impl WarpScheduler for TestSched {
+        fn name(&self) -> &str {
+            "test-rr"
+        }
+        fn pick(&mut self, _view: &IssueView<'_>, candidates: &[usize]) -> Option<usize> {
+            let next = candidates
+                .iter()
+                .copied()
+                .find(|&c| c > self.last)
+                .or_else(|| candidates.first().copied());
+            if let Some(n) = next {
+                self.last = n;
+            }
+            next
+        }
+    }
+
+    #[derive(Debug)]
+    struct TestFactory;
+
+    impl WarpSchedulerFactory for TestFactory {
+        fn name(&self) -> &str {
+            "test-rr"
+        }
+        fn create(&self, _core: usize, _slot: usize) -> Box<dyn WarpScheduler> {
+            Box::new(TestSched { last: usize::MAX })
+        }
+    }
+
+    fn small_cfg() -> Arc<GpuConfig> {
+        let mut c = GpuConfig::fermi();
+        c.num_cores = 1;
+        c.fabric = FabricConfig::fermi_like(1);
+        c.fabric.partitions = 2;
+        c.validate();
+        Arc::new(c)
+    }
+
+    fn run_core_to_completion(
+        core: &mut Core,
+        fabric: &mut MemFabric,
+        gmem: &mut GlobalMem,
+        max_cycles: u64,
+    ) -> (u64, Vec<CoreCtaCompletion>) {
+        let mut completions = Vec::new();
+        for now in 0..max_cycles {
+            while let Some(r) = fabric.pop_response(0) {
+                core.handle_response(now, r);
+            }
+            completions.extend(core.cycle(now, fabric, gmem));
+            fabric.tick(now);
+            if core.is_idle() && fabric.quiesced() {
+                return (now, completions);
+            }
+        }
+        panic!("core did not finish within {max_cycles} cycles");
+    }
+
+    /// c[i] = a[i] + b[i]
+    fn vecadd_desc(n: u32, a: u64, b: u64, c: u64) -> Arc<KernelDescriptor> {
+        let mut k = KernelBuilder::new("vecadd", Dim2::x(64));
+        let pa = k.param(0);
+        let pb = k.param(1);
+        let pc = k.param(2);
+        let pn = k.param(3);
+        let gid = k.global_tid_x();
+        let in_range = k.setp(CmpOp::Lt, CmpTy::U64, gid, pn);
+        k.if_then(in_range, |k| {
+            let off = k.shl(gid, 2u64);
+            let ea = k.iadd(pa, off);
+            let eb = k.iadd(pb, off);
+            let ec = k.iadd(pc, off);
+            let va = k.ld_global_u32(ea, 0);
+            let vb = k.ld_global_u32(eb, 0);
+            let vc = k.iadd(va, vb);
+            k.st_global_u32(vc, ec, 0);
+        });
+        let prog = Arc::new(k.build().unwrap());
+        Arc::new(
+            KernelDescriptor::builder(prog, Dim2::x(n.div_ceil(64)), Dim2::x(64))
+                .params([a, b, c, u64::from(n)])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn vecadd_single_cta_functional_and_retires() {
+        let cfg = small_cfg();
+        let mut fabric = MemFabric::new(cfg.fabric.clone());
+        let mut gmem = GlobalMem::new();
+        let a = gmem.alloc(64 * 4);
+        let b = gmem.alloc(64 * 4);
+        let c = gmem.alloc(64 * 4);
+        let av: Vec<u32> = (0..64).collect();
+        let bv: Vec<u32> = (0..64).map(|i| 100 + i).collect();
+        gmem.write_u32_slice(a, &av);
+        gmem.write_u32_slice(b, &bv);
+
+        let desc = vecadd_desc(64, a, b, c);
+        let mut core = Core::new(0, Arc::clone(&cfg), &TestFactory);
+        let mut age = 0;
+        core.dispatch_cta(KernelId(0), 0, &desc, &mut age);
+        assert_eq!(core.active_cta_count(), 1);
+
+        let (cycles, completions) =
+            run_core_to_completion(&mut core, &mut fabric, &mut gmem, 100_000);
+        assert_eq!(completions.len(), 1);
+        assert_eq!(completions[0].cta_id, 0);
+        assert_eq!(core.active_cta_count(), 0);
+        assert!(cycles > 50, "must take real time (memory latency)");
+        let out = gmem.read_u32_vec(c, 64);
+        let expect: Vec<u32> = (0..64).map(|i| i + 100 + i).collect();
+        assert_eq!(out, expect);
+        assert!(core.stats().issued > 0);
+        assert_eq!(core.stats().ctas_completed, 1);
+    }
+
+    #[test]
+    fn capacity_respects_all_resources() {
+        let cfg = small_cfg();
+        let core = Core::new(0, Arc::clone(&cfg), &TestFactory);
+        // 256 threads/CTA, 20 regs/thread, 0 smem: thread-limited to 6.
+        let mut k = KernelBuilder::new("t", Dim2::x(256));
+        k.movi(0u64);
+        let prog = Arc::new(k.build().unwrap());
+        let d = Arc::new(
+            KernelDescriptor::builder(prog, Dim2::x(100), Dim2::x(256))
+                .regs_per_thread(20)
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(core.capacity_for(&d), 6); // 1536 / 256
+        assert_eq!(Core::hw_max_ctas(&cfg, &d), 6);
+        // Shared-memory-limited: 20 KiB per CTA -> 2 CTAs.
+        let mut k = KernelBuilder::new("t2", Dim2::x(64));
+        k.movi(0u64);
+        let prog = Arc::new(k.build().unwrap());
+        let d = Arc::new(
+            KernelDescriptor::builder(prog, Dim2::x(100), Dim2::x(64))
+                .smem_per_cta(20 * 1024)
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(Core::hw_max_ctas(&cfg, &d), 2);
+        // Register-limited: 64 regs * 256 threads = 16384 -> 2 CTAs.
+        let mut k = KernelBuilder::new("t3", Dim2::x(256));
+        k.movi(0u64);
+        let prog = Arc::new(k.build().unwrap());
+        let d = Arc::new(
+            KernelDescriptor::builder(prog, Dim2::x(100), Dim2::x(256))
+                .regs_per_thread(64)
+                .build()
+                .unwrap(),
+        );
+        assert_eq!(Core::hw_max_ctas(&cfg, &d), 2);
+    }
+
+    #[test]
+    fn barrier_synchronizes_warps() {
+        // Each warp stores its warp id to shared memory, barriers, then
+        // reads its neighbour's value: only correct if the barrier works.
+        let cfg = small_cfg();
+        let mut fabric = MemFabric::new(cfg.fabric.clone());
+        let mut gmem = GlobalMem::new();
+        let out = gmem.alloc(128 * 4);
+
+        let mut k = KernelBuilder::new("barrier", Dim2::x(128)); // 4 warps
+        let pout = k.param(0);
+        let tid = k.special(SpecialReg::TidX);
+        // shared[tid] = tid
+        let saddr = k.shl(tid, 2u64);
+        k.st_shared_u32(tid, saddr, 0);
+        k.bar();
+        // v = shared[(tid + 32) % 128]
+        let other = k.iadd(tid, 32u64);
+        let wrapped = k.and(other, 127u64);
+        let oaddr = k.shl(wrapped, 2u64);
+        let v = k.ld_shared_u32(oaddr, 0);
+        // out[tid] = v
+        let goff = k.shl(tid, 2u64);
+        let gaddr = k.iadd(pout, goff);
+        k.st_global_u32(v, gaddr, 0);
+        let prog = Arc::new(k.build().unwrap());
+        let desc = Arc::new(
+            KernelDescriptor::builder(prog, Dim2::x(1), Dim2::x(128))
+                .smem_per_cta(128 * 4)
+                .params([out])
+                .build()
+                .unwrap(),
+        );
+
+        let mut core = Core::new(0, Arc::clone(&cfg), &TestFactory);
+        let mut age = 0;
+        core.dispatch_cta(KernelId(0), 0, &desc, &mut age);
+        run_core_to_completion(&mut core, &mut fabric, &mut gmem, 100_000);
+        let got = gmem.read_u32_vec(out, 128);
+        let expect: Vec<u32> = (0..128).map(|t| (t + 32) % 128).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn divergent_branch_computes_both_sides() {
+        // out[i] = if i % 2 == 0 { 10 } else { 20 }
+        let cfg = small_cfg();
+        let mut fabric = MemFabric::new(cfg.fabric.clone());
+        let mut gmem = GlobalMem::new();
+        let out = gmem.alloc(32 * 4);
+
+        let mut k = KernelBuilder::new("div", Dim2::x(32));
+        let pout = k.param(0);
+        let tid = k.special(SpecialReg::TidX);
+        let bit = k.and(tid, 1u64);
+        let is_even = k.setp(CmpOp::Eq, CmpTy::U64, bit, 0u64);
+        let v = k.reg();
+        k.if_then_else(is_even, |k| k.mov_to(v, 10u64), |k| k.mov_to(v, 20u64));
+        let off = k.shl(tid, 2u64);
+        let gaddr = k.iadd(pout, off);
+        k.st_global_u32(v, gaddr, 0);
+        let prog = Arc::new(k.build().unwrap());
+        let desc = Arc::new(
+            KernelDescriptor::builder(prog, Dim2::x(1), Dim2::x(32))
+                .params([out])
+                .build()
+                .unwrap(),
+        );
+        let mut core = Core::new(0, Arc::clone(&cfg), &TestFactory);
+        let mut age = 0;
+        core.dispatch_cta(KernelId(0), 0, &desc, &mut age);
+        run_core_to_completion(&mut core, &mut fabric, &mut gmem, 100_000);
+        let got = gmem.read_u32_vec(out, 32);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, if i % 2 == 0 { 10 } else { 20 }, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn loop_accumulates() {
+        // out[tid] = sum(0..tid)
+        let cfg = small_cfg();
+        let mut fabric = MemFabric::new(cfg.fabric.clone());
+        let mut gmem = GlobalMem::new();
+        let out = gmem.alloc(32 * 4);
+
+        let mut k = KernelBuilder::new("loop", Dim2::x(32));
+        let pout = k.param(0);
+        let tid = k.special(SpecialReg::TidX);
+        let acc = k.movi(0u64);
+        k.for_range(0u64, tid, 1u64, |k, i| {
+            k.alu_to(gpgpu_isa::AluOp::IAdd, acc, acc, i);
+        });
+        let off = k.shl(tid, 2u64);
+        let gaddr = k.iadd(pout, off);
+        k.st_global_u32(acc, gaddr, 0);
+        let prog = Arc::new(k.build().unwrap());
+        let desc = Arc::new(
+            KernelDescriptor::builder(prog, Dim2::x(1), Dim2::x(32))
+                .params([out])
+                .build()
+                .unwrap(),
+        );
+        let mut core = Core::new(0, Arc::clone(&cfg), &TestFactory);
+        let mut age = 0;
+        core.dispatch_cta(KernelId(0), 0, &desc, &mut age);
+        run_core_to_completion(&mut core, &mut fabric, &mut gmem, 200_000);
+        let got = gmem.read_u32_vec(out, 32);
+        for (t, v) in got.iter().enumerate() {
+            let expect: u32 = (0..t as u32).sum();
+            assert_eq!(*v, expect, "tid {t}");
+        }
+    }
+
+    #[test]
+    fn multiple_ctas_track_issue_counts() {
+        let cfg = small_cfg();
+        let mut fabric = MemFabric::new(cfg.fabric.clone());
+        let mut gmem = GlobalMem::new();
+        let a = gmem.alloc(256 * 4);
+        let b = gmem.alloc(256 * 4);
+        let c = gmem.alloc(256 * 4);
+        gmem.write_u32_slice(a, &vec![1; 256]);
+        gmem.write_u32_slice(b, &vec![2; 256]);
+        let desc = vecadd_desc(256, a, b, c);
+        let mut core = Core::new(0, Arc::clone(&cfg), &TestFactory);
+        let mut age = 0;
+        for cta in 0..4 {
+            core.dispatch_cta(KernelId(0), cta, &desc, &mut age);
+        }
+        assert_eq!(core.active_cta_count(), 4);
+        let snap = core.cta_slot_snapshot();
+        assert_eq!(snap.len(), 4);
+        let (_, completions) = run_core_to_completion(&mut core, &mut fabric, &mut gmem, 200_000);
+        assert_eq!(completions.len(), 4);
+        // Snapshot attached to the first completion includes issue counts.
+        assert!(completions[0]
+            .slot_snapshot
+            .iter()
+            .any(|s| !s.running && s.issued > 0));
+        assert_eq!(core.completed_of(KernelId(0)), 4);
+        assert_eq!(gmem.read_u32_vec(c, 256), vec![3u32; 256]);
+    }
+
+    #[test]
+    fn guarded_store_skips_lanes() {
+        let cfg = small_cfg();
+        let mut fabric = MemFabric::new(cfg.fabric.clone());
+        let mut gmem = GlobalMem::new();
+        let out = gmem.alloc(32 * 4);
+        gmem.write_u32_slice(out, &vec![7u32; 32]);
+
+        let mut k = KernelBuilder::new("guard", Dim2::x(32));
+        let pout = k.param(0);
+        let tid = k.special(SpecialReg::TidX);
+        let low = k.setp(CmpOp::Lt, CmpTy::U64, tid, 16u64);
+        let off = k.shl(tid, 2u64);
+        let gaddr = k.iadd(pout, off);
+        k.with_guard(low, true, |k| {
+            k.st_global_u32(99u64, gaddr, 0);
+        });
+        let prog = Arc::new(k.build().unwrap());
+        let desc = Arc::new(
+            KernelDescriptor::builder(prog, Dim2::x(1), Dim2::x(32))
+                .params([out])
+                .build()
+                .unwrap(),
+        );
+        let mut core = Core::new(0, Arc::clone(&cfg), &TestFactory);
+        let mut age = 0;
+        core.dispatch_cta(KernelId(0), 0, &desc, &mut age);
+        run_core_to_completion(&mut core, &mut fabric, &mut gmem, 100_000);
+        let got = gmem.read_u32_vec(out, 32);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, if i < 16 { 99 } else { 7 }, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn coalesced_load_uses_fewer_transactions_than_strided() {
+        let cfg = small_cfg();
+        let build = |stride: u64| {
+            let mut k = KernelBuilder::new("access", Dim2::x(32));
+            let pin = k.param(0);
+            let tid = k.special(SpecialReg::TidX);
+            let off = k.imul(tid, stride);
+            let gaddr = k.iadd(pin, off);
+            let v = k.ld_global_u32(gaddr, 0);
+            let o = k.iadd(v, 0u64);
+            let _ = o;
+            let prog = Arc::new(k.build().unwrap());
+            Arc::new(
+                KernelDescriptor::builder(prog, Dim2::x(1), Dim2::x(32))
+                    .params([0x10000])
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let run = |desc: Arc<KernelDescriptor>| {
+            let mut fabric = MemFabric::new(cfg.fabric.clone());
+            let mut gmem = GlobalMem::new();
+            let mut core = Core::new(0, Arc::clone(&cfg), &TestFactory);
+            let mut age = 0;
+            core.dispatch_cta(KernelId(0), 0, &desc, &mut age);
+            run_core_to_completion(&mut core, &mut fabric, &mut gmem, 100_000);
+            core.stats().gmem_transactions
+        };
+        let coalesced = run(build(4));
+        let strided = run(build(512));
+        assert_eq!(coalesced, 1);
+        assert_eq!(strided, 32);
+    }
+
+    #[test]
+    fn special_values() {
+        let mut k = KernelBuilder::new("s", Dim2::new(16, 2));
+        k.movi(0u64);
+        let prog = Arc::new(k.build().unwrap());
+        let d = KernelDescriptor::builder(prog, Dim2::new(3, 2), Dim2::new(16, 2))
+            .build()
+            .unwrap();
+        // CTA 4 => coords (1, 1) in a 3x2 grid.
+        assert_eq!(special_value(SpecialReg::CtaIdX, &d, 4, 0, 0), 1);
+        assert_eq!(special_value(SpecialReg::CtaIdY, &d, 4, 0, 0), 1);
+        // Lane 17 of warp 0: linear tid 17 => (1, 1) in a 16x2 block.
+        assert_eq!(special_value(SpecialReg::TidX, &d, 0, 0, 17), 1);
+        assert_eq!(special_value(SpecialReg::TidY, &d, 0, 0, 17), 1);
+        assert_eq!(special_value(SpecialReg::NTidX, &d, 0, 0, 0), 16);
+        assert_eq!(special_value(SpecialReg::LaneId, &d, 0, 0, 9), 9);
+        assert_eq!(special_value(SpecialReg::CtaLinear, &d, 4, 0, 0), 4);
+    }
+}

@@ -1,0 +1,416 @@
+//! The whole-GPU device: kernel queue, CTA dispatch, the per-cycle main
+//! loop, and statistics collection.
+
+use crate::config::GpuConfig;
+use crate::core_model::Core;
+use crate::memory::GlobalMem;
+use crate::sched_api::{
+    CoreDispatchInfo, CtaCompleteEvent, CtaScheduler, DispatchView, KernelId, KernelSummary,
+    WarpSchedulerFactory,
+};
+use crate::stats::{KernelStats, SimStats};
+use gpgpu_isa::KernelDescriptor;
+use gpgpu_mem::{Cycle, MemFabric};
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Why a run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget ran out before all kernels completed.
+    MaxCyclesExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+    /// No forward progress (no issue, no memory activity) for the
+    /// configured deadlock window — almost always a malformed kernel or a
+    /// scheduling-policy bug.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        at: Cycle,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MaxCyclesExceeded { limit } => {
+                write!(f, "simulation exceeded the {limit}-cycle budget")
+            }
+            SimError::Deadlock { at } => write!(f, "no forward progress; deadlock at cycle {at}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KernelPhase {
+    /// Waiting on a dependency.
+    Pending,
+    /// Dispatchable (CTAs may still be undispatched or in flight).
+    Running,
+    /// All CTAs retired.
+    Done,
+}
+
+#[derive(Debug)]
+struct KernelState {
+    desc: Arc<KernelDescriptor>,
+    after: Option<KernelId>,
+    phase: KernelPhase,
+    next_cta: u64,
+    completed_ctas: u64,
+    start_cycle: Cycle,
+    end_cycle: Cycle,
+}
+
+/// The simulated GPU.
+///
+/// Typical use:
+///
+/// 1. Construct with [`GpuDevice::new`] (a [`GpuConfig`], a warp-scheduler
+///    factory, and a CTA scheduler — the policies live in `tbs-core`).
+/// 2. Set up device memory through [`mem`](Self::mem) / [`alloc`](Self::alloc).
+/// 3. [`launch`](Self::launch) one or more kernels (optionally ordered with
+///    [`launch_after`](Self::launch_after)).
+/// 4. [`run`](Self::run) to completion and inspect [`stats`](Self::stats)
+///    and memory.
+pub struct GpuDevice {
+    cfg: Arc<GpuConfig>,
+    cores: Vec<Core>,
+    fabric: MemFabric,
+    gmem: GlobalMem,
+    kernels: Vec<KernelState>,
+    cta_sched: Option<Box<dyn CtaScheduler>>,
+    warp_sched_name: String,
+    now: Cycle,
+    age_counter: u64,
+    last_progress: Cycle,
+    last_issued_total: u64,
+}
+
+impl fmt::Debug for GpuDevice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GpuDevice")
+            .field("now", &self.now)
+            .field("kernels", &self.kernels.len())
+            .field("cores", &self.cores.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl GpuDevice {
+    /// Builds a device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`GpuConfig::validate`].
+    pub fn new(
+        cfg: GpuConfig,
+        warp_sched: &dyn WarpSchedulerFactory,
+        cta_sched: Box<dyn CtaScheduler>,
+    ) -> Self {
+        cfg.validate();
+        let cfg = Arc::new(cfg);
+        let cores = (0..cfg.num_cores)
+            .map(|i| Core::new(i, Arc::clone(&cfg), warp_sched))
+            .collect();
+        let fabric = MemFabric::new(cfg.fabric.clone());
+        GpuDevice {
+            cores,
+            fabric,
+            gmem: GlobalMem::new(),
+            kernels: Vec::new(),
+            cta_sched: Some(cta_sched),
+            warp_sched_name: warp_sched.name().to_string(),
+            now: 0,
+            age_counter: 0,
+            last_progress: 0,
+            last_issued_total: 0,
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// The CTA scheduler, for post-run inspection (see
+    /// [`CtaScheduler::as_any`]).
+    pub fn cta_scheduler(&self) -> &dyn CtaScheduler {
+        self.cta_sched.as_deref().expect("scheduler present")
+    }
+
+    /// Names of the configured policies: `(warp scheduler, CTA scheduler)`.
+    pub fn policy_names(&self) -> (String, String) {
+        (
+            self.warp_sched_name.clone(),
+            self.cta_sched
+                .as_ref()
+                .map(|c| c.name().to_string())
+                .unwrap_or_default(),
+        )
+    }
+
+    /// Functional global memory (setup and verification).
+    pub fn mem(&mut self) -> &mut GlobalMem {
+        &mut self.gmem
+    }
+
+    /// Read-only functional global memory.
+    pub fn mem_ref(&self) -> &GlobalMem {
+        &self.gmem
+    }
+
+    /// Reserves device address space.
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        self.gmem.alloc(bytes)
+    }
+
+    /// Current cycle.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Enqueues a kernel with no ordering dependency (it becomes
+    /// dispatchable immediately — concurrent with anything else running).
+    pub fn launch(&mut self, desc: KernelDescriptor) -> KernelId {
+        self.launch_inner(desc, None)
+    }
+
+    /// Enqueues a kernel that becomes dispatchable only after `after`
+    /// completes (serial execution).
+    pub fn launch_after(&mut self, desc: KernelDescriptor, after: KernelId) -> KernelId {
+        self.launch_inner(desc, Some(after))
+    }
+
+    fn launch_inner(&mut self, desc: KernelDescriptor, after: Option<KernelId>) -> KernelId {
+        let id = KernelId(self.kernels.len());
+        let desc = Arc::new(desc);
+        self.kernels.push(KernelState {
+            desc,
+            after,
+            phase: KernelPhase::Pending,
+            next_cta: 0,
+            completed_ctas: 0,
+            start_cycle: 0,
+            end_cycle: 0,
+        });
+        id
+    }
+
+    /// Whether every launched kernel has completed.
+    pub fn all_done(&self) -> bool {
+        self.kernels.iter().all(|k| k.phase == KernelPhase::Done)
+    }
+
+    fn activate_pending(&mut self) {
+        for i in 0..self.kernels.len() {
+            if self.kernels[i].phase != KernelPhase::Pending {
+                continue;
+            }
+            let ready = match self.kernels[i].after {
+                None => true,
+                Some(dep) => self.kernels[dep.0].phase == KernelPhase::Done,
+            };
+            if !ready {
+                continue;
+            }
+            self.kernels[i].phase = KernelPhase::Running;
+            self.kernels[i].start_cycle = self.now;
+            let any_other_running = self
+                .kernels
+                .iter()
+                .enumerate()
+                .any(|(j, k)| j != i && k.phase == KernelPhase::Running);
+            if self.cfg.flush_l1_on_kernel_launch && !any_other_running {
+                for c in &mut self.cores {
+                    c.flush_l1();
+                }
+                self.fabric.flush_l2();
+            }
+            let desc = Arc::clone(&self.kernels[i].desc);
+            if let Some(cs) = self.cta_sched.as_mut() {
+                cs.on_kernel_launch(KernelId(i), &desc, &self.cfg);
+            }
+        }
+    }
+
+    fn kernel_summaries(&self) -> Vec<KernelSummary> {
+        self.kernels
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| k.phase == KernelPhase::Running && k.next_cta < k.desc.cta_count())
+            .map(|(i, k)| KernelSummary {
+                id: KernelId(i),
+                next_cta: k.next_cta,
+                remaining: k.desc.cta_count() - k.next_cta,
+                total_ctas: k.desc.cta_count(),
+                warps_per_cta: k.desc.warps_per_cta(),
+            })
+            .collect()
+    }
+
+    fn core_dispatch_infos(&self, kernels: &[KernelSummary]) -> Vec<CoreDispatchInfo> {
+        self.cores
+            .iter()
+            .map(|core| CoreDispatchInfo {
+                cta_count: core.active_cta_count(),
+                kernel_ctas: kernels
+                    .iter()
+                    .map(|k| (k.id, core.cta_count_of(k.id)))
+                    .collect(),
+                capacity: kernels
+                    .iter()
+                    .map(|k| (k.id, core.capacity_for(&self.kernels[k.id.0].desc)))
+                    .collect(),
+                completed: kernels
+                    .iter()
+                    .map(|k| (k.id, core.completed_of(k.id)))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Runs the CTA scheduler until it stops dispatching this cycle.
+    fn dispatch_ctas(&mut self) {
+        let mut cta_sched = self.cta_sched.take().expect("scheduler present");
+        // Bounded by total CTA slots to guard against a policy that loops.
+        let max_rounds = self.cores.len() * self.cfg.max_ctas_per_core as usize + 1;
+        for _ in 0..max_rounds {
+            let kernels = self.kernel_summaries();
+            if kernels.is_empty() {
+                break;
+            }
+            let infos = self.core_dispatch_infos(&kernels);
+            let view = DispatchView::new(self.now, &kernels, &infos);
+            let Some(d) = cta_sched.select(&view) else {
+                break;
+            };
+            if d.core >= self.cores.len() || d.count == 0 {
+                break; // malformed decision; stop this round
+            }
+            let Some(ks) = kernels.iter().find(|k| k.id == d.kernel) else {
+                break;
+            };
+            let state = &self.kernels[d.kernel.0];
+            let capacity = self.cores[d.core].capacity_for(&state.desc);
+            let count = d.count.min(capacity).min(ks.remaining as u32);
+            if count == 0 {
+                break; // does not fit; stop to avoid livelock
+            }
+            let desc = Arc::clone(&state.desc);
+            for _ in 0..count {
+                let cta = self.kernels[d.kernel.0].next_cta;
+                self.kernels[d.kernel.0].next_cta += 1;
+                self.cores[d.core].dispatch_cta(d.kernel, cta, &desc, &mut self.age_counter);
+            }
+        }
+        self.cta_sched = Some(cta_sched);
+    }
+
+    /// Advances the device one cycle.
+    pub fn step(&mut self) {
+        self.activate_pending();
+        self.dispatch_ctas();
+
+        let now = self.now;
+        let mut completions = Vec::new();
+        for core in &mut self.cores {
+            while let Some(resp) = self.fabric.pop_response(core.id()) {
+                core.handle_response(now, resp);
+            }
+            for c in core.cycle(now, &mut self.fabric, &mut self.gmem) {
+                completions.push((core.id(), c));
+            }
+        }
+        self.fabric.tick(now);
+
+        // Account completions and notify the CTA scheduler.
+        let mut cta_sched = self.cta_sched.take().expect("scheduler present");
+        for (core, c) in completions {
+            let ev = CtaCompleteEvent {
+                core,
+                kernel: c.kernel,
+                cta_id: c.cta_id,
+                cycle: now,
+                completed_on_core: c.completed_on_core,
+                core_kernel_issued: c.core_kernel_issued,
+                slot_snapshot: c.slot_snapshot,
+            };
+            cta_sched.on_cta_complete(&ev);
+            let k = &mut self.kernels[c.kernel.0];
+            k.completed_ctas += 1;
+            if k.completed_ctas == k.desc.cta_count() {
+                k.phase = KernelPhase::Done;
+                k.end_cycle = now;
+                cta_sched.on_kernel_finish(c.kernel);
+            }
+        }
+        self.cta_sched = Some(cta_sched);
+        self.now += 1;
+    }
+
+    /// Runs until every launched kernel completes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::MaxCyclesExceeded`] if `max_cycles` elapse first, or
+    /// [`SimError::Deadlock`] if nothing makes progress for the configured
+    /// deadlock window.
+    pub fn run(&mut self, max_cycles: u64) -> Result<(), SimError> {
+        let limit = self.now + max_cycles;
+        while !self.all_done() {
+            if self.now >= limit {
+                return Err(SimError::MaxCyclesExceeded { limit: max_cycles });
+            }
+            self.step();
+            // Progress detection: any issued instruction counts.
+            let issued: u64 = self.cores.iter().map(|c| c.stats().issued).sum();
+            if issued != self.last_issued_total {
+                self.last_issued_total = issued;
+                self.last_progress = self.now;
+            } else if self.now - self.last_progress > self.cfg.deadlock_cycles {
+                return Err(SimError::Deadlock { at: self.now });
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot of run statistics.
+    pub fn stats(&self) -> SimStats {
+        let mut l1 = gpgpu_mem::CacheStats::default();
+        for c in &self.cores {
+            l1.merge(c.l1_stats());
+        }
+        let kernels = self
+            .kernels
+            .iter()
+            .enumerate()
+            .map(|(i, k)| KernelStats {
+                id: KernelId(i),
+                name: k.desc.name().to_string(),
+                start_cycle: k.start_cycle,
+                end_cycle: k.end_cycle,
+                instructions: self
+                    .cores
+                    .iter()
+                    .map(|c| c.issued_of(KernelId(i)))
+                    .sum(),
+                ctas: k.desc.cta_count(),
+                done: k.phase == KernelPhase::Done,
+            })
+            .collect();
+        SimStats {
+            cycles: self.now,
+            instructions: self.cores.iter().map(|c| c.stats().issued).sum(),
+            kernels,
+            l1,
+            fabric: self.fabric.stats(),
+            cores: self.cores.iter().map(|c| c.stats().clone()).collect(),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Simulation statistics: per-kernel and whole-run roll-ups.
+
+use crate::core_model::CoreStats;
+use crate::sched_api::KernelId;
+use gpgpu_mem::{CacheStats, Cycle, FabricStats};
+
+/// Per-kernel outcome of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// The kernel's id.
+    pub id: KernelId,
+    /// Kernel name (from the descriptor).
+    pub name: String,
+    /// Cycle the kernel became dispatchable.
+    pub start_cycle: Cycle,
+    /// Cycle its last CTA retired (0 while running).
+    pub end_cycle: Cycle,
+    /// Dynamic warp-instructions issued for this kernel.
+    pub instructions: u64,
+    /// CTAs in the grid.
+    pub ctas: u64,
+    /// Whether the kernel has completed.
+    pub done: bool,
+}
+
+impl KernelStats {
+    /// Execution time in cycles (0 while running).
+    pub fn cycles(&self) -> u64 {
+        self.end_cycle.saturating_sub(self.start_cycle)
+    }
+
+    /// Instructions per cycle over the kernel's own lifetime.
+    pub fn ipc(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / c as f64
+        }
+    }
+}
+
+/// Whole-run statistics snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Total warp-instructions issued.
+    pub instructions: u64,
+    /// Per-kernel outcomes, in launch order.
+    pub kernels: Vec<KernelStats>,
+    /// L1 counters summed over cores.
+    pub l1: CacheStats,
+    /// Off-core memory-system counters.
+    pub fabric: FabricStats,
+    /// Per-core issue/stall counters.
+    pub cores: Vec<CoreStats>,
+}
+
+impl SimStats {
+    /// Aggregate instructions-per-cycle over the whole run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// The stats entry for `kernel`.
+    pub fn kernel(&self, kernel: KernelId) -> Option<&KernelStats> {
+        self.kernels.iter().find(|k| k.id == kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_ipc() {
+        let k = KernelStats {
+            id: KernelId(0),
+            name: "k".into(),
+            start_cycle: 100,
+            end_cycle: 300,
+            instructions: 400,
+            ctas: 8,
+            done: true,
+        };
+        assert_eq!(k.cycles(), 200);
+        assert!((k.ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_kernel_has_zero_ipc() {
+        let k = KernelStats {
+            id: KernelId(0),
+            name: "k".into(),
+            start_cycle: 100,
+            end_cycle: 0,
+            instructions: 400,
+            ctas: 8,
+            done: false,
+        };
+        assert_eq!(k.cycles(), 0);
+        assert_eq!(k.ipc(), 0.0);
+    }
+}

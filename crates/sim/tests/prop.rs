@@ -1,0 +1,125 @@
+//! Property-based tests for simulator data structures: the SIMT stack
+//! under random structured divergence and the coalescer's covering
+//! property.
+
+use gpgpu_sim::coalesce::{coalesce, shared_conflict_passes};
+use gpgpu_sim::{SimtStack, FULL_MASK};
+use proptest::prelude::*;
+
+proptest! {
+    /// An if/else over a random lane partition always reconverges with the
+    /// original mask, regardless of which side exits lanes.
+    #[test]
+    fn if_else_reconverges(taken_mask: u32, exits: u32) {
+        let taken = taken_mask; // lanes taking the branch
+        let fall = !taken_mask;
+        let mut s = SimtStack::new(FULL_MASK);
+        s.branch(taken, fall, 10, 20);
+        let exited = exits & taken; // some taken lanes exit
+        // Run the taken side (if any non-exited lanes remain).
+        if let Some((pc, m)) = s.sync(exited) {
+            if pc == 10 {
+                prop_assert_eq!(m, taken & !exited);
+                s.jump(20);
+            }
+        }
+        // Run the fall side.
+        if let Some((pc, m)) = s.sync(exited) {
+            if pc == 1 {
+                prop_assert_eq!(m, fall & !exited);
+                s.jump(20);
+            }
+        }
+        // Reconverged: everything alive is back together at 20.
+        match s.sync(exited) {
+            Some((20, m)) => prop_assert_eq!(m, FULL_MASK & !exited),
+            None => prop_assert_eq!(exited, FULL_MASK),
+            other => prop_assert!(false, "unexpected state {other:?}"),
+        }
+    }
+
+    /// Nested divergence never leaves the stack deeper than 2 entries per
+    /// nesting level + 1.
+    #[test]
+    fn nesting_depth_bounded(masks in prop::collection::vec(any::<u32>(), 1..6)) {
+        let mut s = SimtStack::new(FULL_MASK);
+        let mut live = FULL_MASK;
+        let mut depth_levels = 0;
+        for (i, m) in masks.iter().enumerate() {
+            let taken = live & m;
+            let fall = live & !m;
+            if taken == 0 || fall == 0 {
+                continue; // uniform, no divergence
+            }
+            let base = (i as u32 + 1) * 100;
+            s.branch(taken, fall, base, base + 50);
+            depth_levels += 1;
+            prop_assert!(s.depth() <= 2 * depth_levels + 1,
+                "depth {} after {} levels", s.depth(), depth_levels);
+            // Descend into the taken side.
+            let (_, m2) = s.sync(0).expect("live");
+            live = m2;
+        }
+    }
+
+    /// Coalescing covers every active lane's access and produces sorted,
+    /// unique, line-aligned addresses.
+    #[test]
+    fn coalesce_covers_and_is_canonical(
+        raw in prop::collection::vec(0u64..100_000, 32),
+        mask: u32,
+        wide: bool,
+    ) {
+        let mut addrs = [0u64; 32];
+        addrs.copy_from_slice(&raw);
+        let width = if wide { 8 } else { 4 };
+        let lines = coalesce(&addrs, mask, width, 128);
+        // Canonical form.
+        for w in lines.windows(2) {
+            prop_assert!(w[0] < w[1], "sorted and unique");
+        }
+        for &l in &lines {
+            prop_assert_eq!(l % 128, 0, "line aligned");
+        }
+        // Covering: every active byte belongs to some returned line.
+        for lane in 0..32 {
+            if mask & (1 << lane) == 0 {
+                continue;
+            }
+            for b in [addrs[lane], addrs[lane] + width - 1] {
+                let line = b & !127;
+                prop_assert!(lines.contains(&line), "byte {b:#x} uncovered");
+            }
+        }
+        // Upper bound: at most 2 lines per active lane.
+        let active = mask.count_ones() as usize;
+        prop_assert!(lines.len() <= 2 * active.max(0));
+        if active == 0 {
+            prop_assert!(lines.is_empty());
+        }
+    }
+
+    /// Bank-conflict passes are between 1 and the active-lane count (when
+    /// any lane is active), and a uniform broadcast is always 1 pass.
+    #[test]
+    fn shared_conflicts_bounded(
+        raw in prop::collection::vec(0u64..4096, 32),
+        mask: u32,
+    ) {
+        let mut addrs = [0u64; 32];
+        addrs.copy_from_slice(&raw);
+        let passes = shared_conflict_passes(&addrs, mask);
+        let active = mask.count_ones();
+        if active == 0 {
+            prop_assert_eq!(passes, 0);
+        } else {
+            prop_assert!(passes >= 1);
+            prop_assert!(passes <= active);
+        }
+        // Broadcast.
+        let same = [400u64; 32];
+        if active > 0 {
+            prop_assert_eq!(shared_conflict_passes(&same, mask), 1);
+        }
+    }
+}

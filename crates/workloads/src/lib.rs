@@ -1,0 +1,106 @@
+//! Synthetic GPGPU workload suite for the HPCA'14 thread-block-scheduling
+//! reproduction.
+//!
+//! The paper evaluates on Rodinia/Parboil/CUDA-SDK binaries, grouped into
+//! compute-intensive (C), memory-intensive (M), and cache-sensitive (X)
+//! kernels. Those binaries cannot run on a from-scratch simulator, so this
+//! crate provides hand-written kernels (in the `gpgpu-isa` mini-ISA)
+//! reproducing each group's access pattern — and because the simulator
+//! executes functionally, every workload *verifies its own output*.
+//!
+//! See [`suite`] for the full list and [`runner`] for one-call execution.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+pub mod compute;
+pub mod dense;
+pub mod irregular;
+pub mod reduce;
+pub mod runner;
+pub mod stencil;
+pub mod streaming;
+
+pub use common::{
+    f32_close, first_mismatch_f32, first_mismatch_u32, Scale, VerifyError, Workload,
+    WorkloadClass,
+};
+pub use runner::{
+    run_pair, run_workload, run_workload_with_device, RunError, RunOutcome, DEFAULT_MAX_CYCLES,
+};
+
+use compute::{FmaHeavy, KMeansDist};
+use dense::{MatMulNaive, MatMulTiled, Transpose};
+use irregular::{RandomGather, SpmvEll};
+use reduce::{DotProduct, Reduction};
+use stencil::{Hotspot, Stencil2d};
+use streaming::{Saxpy, StridedCopy, VecAdd};
+
+/// The full 14-kernel suite at the given scale, in a stable order.
+pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
+    let (s, m, l) = match scale {
+        // (streaming n, matrix dim, per-thread-grid n)
+        Scale::Tiny => (16 * 1024, 64, 8 * 1024),
+        Scale::Small => (192 * 1024, 192, 96 * 1024),
+        Scale::Full => (1024 * 1024, 512, 512 * 1024),
+    };
+    vec![
+        Box::new(VecAdd::new(s)),
+        Box::new(Saxpy::new(s)),
+        Box::new(StridedCopy::new(s / 2, 33)),
+        Box::new(FmaHeavy::new(l, 96)),
+        Box::new(KMeansDist::new(l, 24)),
+        Box::new(MatMulTiled::new(m)),
+        Box::new(MatMulNaive::new(m)),
+        Box::new(Transpose::new(m * 2)),
+        Box::new(Stencil2d::new(m * 2)),
+        Box::new(Hotspot::new(m)),
+        Box::new(Reduction::new(s)),
+        Box::new(DotProduct::new(s / 2)),
+        Box::new(SpmvEll::new(l, 16)),
+        Box::new(RandomGather::new(l / 2, 8)),
+    ]
+}
+
+/// Constructs one suite member by name at the given scale.
+pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    suite(scale).into_iter().find(|w| w.name() == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_fourteen_distinct_workloads() {
+        let s = suite(Scale::Tiny);
+        assert_eq!(s.len(), 14);
+        let mut names: Vec<&str> = s.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14, "names must be unique");
+    }
+
+    #[test]
+    fn suite_covers_all_classes() {
+        let s = suite(Scale::Tiny);
+        for class in [
+            WorkloadClass::Compute,
+            WorkloadClass::Memory,
+            WorkloadClass::Cache,
+        ] {
+            assert!(
+                s.iter().filter(|w| w.class() == class).count() >= 2,
+                "need at least two workloads of class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn by_name_finds_members() {
+        assert!(by_name("vecadd", Scale::Tiny).is_some());
+        assert!(by_name("matmul-tiled", Scale::Tiny).is_some());
+        assert!(by_name("nonexistent", Scale::Tiny).is_none());
+    }
+}

@@ -1,0 +1,150 @@
+//! One-call helpers to run a workload on a device with given policies.
+
+use crate::common::{VerifyError, Workload};
+use gpgpu_sim::{
+    CtaScheduler, GpuConfig, GpuDevice, KernelId, SimError, SimStats, WarpSchedulerFactory,
+};
+use std::error::Error;
+use std::fmt;
+
+/// Default cycle budget for harness runs.
+pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
+
+/// Why a workload run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The simulator aborted.
+    Sim(SimError),
+    /// The kernel ran but produced wrong output.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RunError::Verify(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Sim(e) => Some(e),
+            RunError::Verify(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+impl From<VerifyError> for RunError {
+    fn from(e: VerifyError) -> Self {
+        RunError::Verify(e)
+    }
+}
+
+/// The result of a completed, verified run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Full simulator statistics.
+    pub stats: SimStats,
+    /// Id of the workload's kernel.
+    pub kernel: KernelId,
+}
+
+impl RunOutcome {
+    /// The workload kernel's IPC.
+    pub fn ipc(&self) -> f64 {
+        self.stats
+            .kernel(self.kernel)
+            .map(|k| k.ipc())
+            .unwrap_or(0.0)
+    }
+
+    /// The workload kernel's execution cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stats
+            .kernel(self.kernel)
+            .map(|k| k.cycles())
+            .unwrap_or(0)
+    }
+}
+
+/// Runs `workload` to completion on a fresh device and verifies its
+/// output.
+///
+/// # Errors
+///
+/// Returns [`RunError::Sim`] if the simulation deadlocks or exceeds
+/// `max_cycles`, or [`RunError::Verify`] if the output is wrong.
+pub fn run_workload(
+    workload: &mut dyn Workload,
+    cfg: GpuConfig,
+    warp: &dyn WarpSchedulerFactory,
+    cta: Box<dyn CtaScheduler>,
+    max_cycles: u64,
+) -> Result<RunOutcome, RunError> {
+    run_workload_with_device(workload, cfg, warp, cta, max_cycles).map(|(o, _)| o)
+}
+
+/// As [`run_workload`], but also hands back the device for post-run
+/// inspection (memory contents, scheduler state via
+/// [`CtaScheduler::as_any`]).
+///
+/// # Errors
+///
+/// As [`run_workload`].
+pub fn run_workload_with_device(
+    workload: &mut dyn Workload,
+    cfg: GpuConfig,
+    warp: &dyn WarpSchedulerFactory,
+    cta: Box<dyn CtaScheduler>,
+    max_cycles: u64,
+) -> Result<(RunOutcome, GpuDevice), RunError> {
+    let mut gpu = GpuDevice::new(cfg, warp, cta);
+    let desc = workload.prepare(gpu.mem());
+    let kernel = gpu.launch(desc);
+    gpu.run(max_cycles)?;
+    workload.verify(gpu.mem_ref())?;
+    let outcome = RunOutcome {
+        stats: gpu.stats(),
+        kernel,
+    };
+    Ok((outcome, gpu))
+}
+
+/// Runs two workloads concurrently (both launched at cycle 0) and verifies
+/// both. Returns the outcome with total cycles and both kernels' stats.
+///
+/// # Errors
+///
+/// As [`run_workload`].
+pub fn run_pair(
+    a: &mut dyn Workload,
+    b: &mut dyn Workload,
+    cfg: GpuConfig,
+    warp: &dyn WarpSchedulerFactory,
+    cta: Box<dyn CtaScheduler>,
+    serial: bool,
+    max_cycles: u64,
+) -> Result<(SimStats, KernelId, KernelId), RunError> {
+    let mut gpu = GpuDevice::new(cfg, warp, cta);
+    let desc_a = a.prepare(gpu.mem());
+    let desc_b = b.prepare(gpu.mem());
+    let ka = gpu.launch(desc_a);
+    let kb = if serial {
+        gpu.launch_after(desc_b, ka)
+    } else {
+        gpu.launch(desc_b)
+    };
+    gpu.run(max_cycles)?;
+    a.verify(gpu.mem_ref())?;
+    b.verify(gpu.mem_ref())?;
+    Ok((gpu.stats(), ka, kb))
+}

@@ -1,0 +1,82 @@
+//! End-to-end: every workload runs to completion on the full simulator
+//! and verifies its functional output, under both baseline and paper
+//! scheduling policies.
+
+use gpgpu_sim::GpuConfig;
+use gpgpu_workloads::{run_workload, suite, Scale};
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+const MAX_CYCLES: u64 = 50_000_000;
+
+/// Debug builds simulate ~20x slower; cover a representative subset there
+/// and the whole suite under `--release` (CI / the experiment harness).
+fn suite_for_build() -> Vec<Box<dyn gpgpu_workloads::Workload>> {
+    let all = suite(Scale::Tiny);
+    if cfg!(debug_assertions) {
+        let keep = ["vecadd", "matmul-tiled", "reduction", "stencil2d"];
+        all.into_iter()
+            .filter(|w| keep.contains(&w.name()))
+            .collect()
+    } else {
+        all
+    }
+}
+
+fn run_all(warp: WarpPolicy, cta: CtaPolicy) {
+    for mut w in suite_for_build() {
+        let factory = warp.factory();
+        let outcome = run_workload(
+            w.as_mut(),
+            GpuConfig::test_small(),
+            factory.as_ref(),
+            cta.scheduler(),
+            MAX_CYCLES,
+        )
+        .unwrap_or_else(|e| panic!("{} under {warp}/{cta}: {e}", w.name()));
+        assert!(outcome.cycles() > 0, "{} must take time", w.name());
+        assert!(outcome.ipc() > 0.0, "{} must issue", w.name());
+    }
+}
+
+#[test]
+fn suite_verifies_under_gto_baseline() {
+    run_all(WarpPolicy::Gto, CtaPolicy::Baseline(None));
+}
+
+#[test]
+fn suite_verifies_under_lrr_baseline() {
+    run_all(WarpPolicy::Lrr, CtaPolicy::Baseline(None));
+}
+
+#[test]
+fn suite_verifies_under_lcs() {
+    run_all(WarpPolicy::Gto, CtaPolicy::Lcs(0.7));
+}
+
+#[test]
+fn suite_verifies_under_bcs_baws() {
+    run_all(WarpPolicy::Baws(2), CtaPolicy::Bcs(2));
+}
+
+#[test]
+fn suite_verifies_under_two_level() {
+    run_all(WarpPolicy::TwoLevel(8), CtaPolicy::Baseline(None));
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let run_once = || {
+        let mut w = gpgpu_workloads::by_name("vecadd", Scale::Tiny).expect("exists");
+        let factory = WarpPolicy::Gto.factory();
+        run_workload(
+            w.as_mut(),
+            GpuConfig::test_small(),
+            factory.as_ref(),
+            CtaPolicy::Baseline(None).scheduler(),
+            MAX_CYCLES,
+        )
+        .expect("runs")
+        .cycles()
+    };
+    assert_eq!(run_once(), run_once());
+}

@@ -1,0 +1,56 @@
+//! BCS + BAWS in action: a row-per-CTA stencil where consecutive CTAs
+//! share halo rows, and a streaming kernel where consecutive CTAs share
+//! DRAM rows. Baseline round-robin scatters the neighbours across cores;
+//! BCS pairs them and BAWS keeps the pair in lockstep.
+//!
+//! ```text
+//! cargo run --release --example bcs_locality
+//! ```
+
+use gpgpu_repro::sim::GpuConfig;
+use gpgpu_repro::tbs::{CtaPolicy, WarpPolicy};
+use gpgpu_repro::workloads::{by_name, run_workload, Scale, Workload};
+
+const MAX_CYCLES: u64 = 200_000_000;
+
+fn measure(w: &mut dyn Workload, warp: WarpPolicy, cta: CtaPolicy) -> (u64, f64, f64) {
+    let factory = warp.factory();
+    let out = run_workload(
+        w,
+        GpuConfig::fermi(),
+        factory.as_ref(),
+        cta.scheduler(),
+        MAX_CYCLES,
+    )
+    .expect("runs and verifies");
+    (
+        out.cycles(),
+        out.stats.l1.miss_rate(),
+        out.stats.fabric.dram.row_hit_rate(),
+    )
+}
+
+fn main() {
+    for name in ["stencil2d", "hotspot", "vecadd"] {
+        println!("{name}:");
+        let mut w = by_name(name, Scale::Small).expect("suite member");
+        let (base, l1b, rowb) = measure(w.as_mut(), WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        println!("  baseline (GTO + RR)  : {base:>8} cycles  L1 miss {l1b:.3}  row-hit {rowb:.3}");
+
+        let mut w = by_name(name, Scale::Small).expect("suite member");
+        let (bcs, l1c, rowc) = measure(w.as_mut(), WarpPolicy::Gto, CtaPolicy::Bcs(2));
+        println!(
+            "  BCS(2) + GTO         : {bcs:>8} cycles  L1 miss {l1c:.3}  row-hit {rowc:.3}  ({:+.1}%)",
+            (base as f64 / bcs as f64 - 1.0) * 100.0
+        );
+
+        let mut w = by_name(name, Scale::Small).expect("suite member");
+        let (baws, l1w, roww) = measure(w.as_mut(), WarpPolicy::Baws(2), CtaPolicy::Bcs(2));
+        println!(
+            "  BCS(2) + BAWS        : {baws:>8} cycles  L1 miss {l1w:.3}  row-hit {roww:.3}  ({:+.1}%)",
+            (base as f64 / baws as f64 - 1.0) * 100.0
+        );
+        println!();
+    }
+    println!("(All outputs functionally verified.)");
+}

@@ -1,11 +1,14 @@
-//! Criterion benches over the scheduling policies: one group per
+//! Wall-clock benches over the scheduling policies: one group per
 //! experiment family, measuring end-to-end simulated-kernel wall time on
 //! tiny inputs (the statistical complement to the `exp` harness, which
 //! reports simulated cycles on full inputs).
+//!
+//! Plain `Instant`-based timing (median of N runs) — no external bench
+//! framework, so the crate builds with no third-party dependencies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gpgpu_sim::GpuConfig;
 use gpgpu_workloads::{by_name, run_workload, Scale};
+use std::time::Instant;
 use tbs_core::{CtaPolicy, WarpPolicy};
 
 fn run(name: &str, warp: WarpPolicy, cta: CtaPolicy) -> u64 {
@@ -22,50 +25,52 @@ fn run(name: &str, warp: WarpPolicy, cta: CtaPolicy) -> u64 {
     .cycles()
 }
 
-/// E3/E5 family: baseline vs LCS on a memory-bound and a compute-bound
-/// kernel.
-fn bench_lcs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lcs");
-    g.sample_size(10);
-    for name in ["vecadd", "fmaheavy"] {
-        g.bench_with_input(BenchmarkId::new("baseline", name), name, |b, n| {
-            b.iter(|| run(n, WarpPolicy::Gto, CtaPolicy::Baseline(None)))
-        });
-        g.bench_with_input(BenchmarkId::new("lcs", name), name, |b, n| {
-            b.iter(|| run(n, WarpPolicy::Gto, CtaPolicy::Lcs(0.7)))
-        });
-    }
-    g.finish();
+/// Times `f` over `samples` runs (after one warmup) and prints the median.
+fn bench(label: &str, samples: usize, mut f: impl FnMut() -> u64) {
+    let sink = f(); // warmup; keep the result observable
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    println!(
+        "{label:40} median {:8.2} ms  (min {:.2}, max {:.2}, cycles {sink})",
+        times[times.len() / 2],
+        times[0],
+        times[times.len() - 1],
+    );
 }
 
-/// E4 family: warp schedulers.
-fn bench_warp_schedulers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("warp-sched");
-    g.sample_size(10);
+fn main() {
+    let samples = 5;
+    // E3/E5 family: baseline vs LCS on a memory-bound and a compute-bound
+    // kernel.
+    for name in ["vecadd", "fmaheavy"] {
+        bench(&format!("lcs/baseline/{name}"), samples, || {
+            run(name, WarpPolicy::Gto, CtaPolicy::Baseline(None))
+        });
+        bench(&format!("lcs/lcs/{name}"), samples, || {
+            run(name, WarpPolicy::Gto, CtaPolicy::Lcs(0.7))
+        });
+    }
+    // E4 family: warp schedulers.
     for (label, warp) in [
         ("lrr", WarpPolicy::Lrr),
         ("gto", WarpPolicy::Gto),
         ("two-level", WarpPolicy::TwoLevel(8)),
     ] {
-        g.bench_function(label, |b| {
-            b.iter(|| run("stencil2d", warp, CtaPolicy::Baseline(None)))
+        bench(&format!("warp-sched/{label}"), samples, || {
+            run("stencil2d", warp, CtaPolicy::Baseline(None))
         });
     }
-    g.finish();
-}
-
-/// E7 family: BCS + BAWS.
-fn bench_bcs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bcs");
-    g.sample_size(10);
-    g.bench_function("baseline", |b| {
-        b.iter(|| run("hotspot", WarpPolicy::Gto, CtaPolicy::Baseline(None)))
+    // E7 family: BCS + BAWS.
+    bench("bcs/baseline", samples, || {
+        run("hotspot", WarpPolicy::Gto, CtaPolicy::Baseline(None))
     });
-    g.bench_function("bcs-baws", |b| {
-        b.iter(|| run("hotspot", WarpPolicy::Baws(2), CtaPolicy::Bcs(2)))
+    bench("bcs/bcs-baws", samples, || {
+        run("hotspot", WarpPolicy::Baws(2), CtaPolicy::Bcs(2))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_lcs, bench_warp_schedulers, bench_bcs);
-criterion_main!(benches);

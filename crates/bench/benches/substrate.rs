@@ -1,99 +1,117 @@
-//! Criterion microbenches of the simulator substrate itself: cache,
-//! DRAM, crossbar, coalescer, and SIMT-stack hot paths. These guard the
+//! Microbenches of the simulator substrate itself: cache, DRAM,
+//! crossbar, coalescer, and SIMT-stack hot paths. These guard the
 //! simulator's own performance (simulated cycles per host second), which
 //! bounds how large an experiment the harness can run.
+//!
+//! Plain `Instant`-based timing over a fixed iteration count — no
+//! external bench framework, so the crate builds with no third-party
+//! dependencies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use gpgpu_mem::dram::DramRequest;
-use gpgpu_mem::{AccessKind, Cache, CacheConfig, Crossbar, DramChannel, DramConfig, ReqId, XbarConfig};
+use gpgpu_mem::{
+    AccessKind, Cache, CacheConfig, Crossbar, DramChannel, DramConfig, ReqId, XbarConfig,
+};
 use gpgpu_sim::coalesce::coalesce;
 use gpgpu_sim::{SimtStack, FULL_MASK};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/hit-access", |b| {
-        let mut cache = Cache::new(CacheConfig::l1_data_default());
-        cache.fill(0, 0);
-        b.iter(|| black_box(cache.access(black_box(0x40), AccessKind::Load, Some(ReqId(1)), 0)))
+const ITERS: u64 = 200_000;
+
+/// Times `iters` calls of `f` and prints ns/iteration.
+fn bench(label: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f(); // warmup
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = t0.elapsed().as_secs_f64() * 1e9 / iters as f64;
+    println!("{label:30} {ns:10.1} ns/iter");
+}
+
+fn bench_cache() {
+    let mut cache = Cache::new(CacheConfig::l1_data_default());
+    cache.fill(0, 0);
+    bench("cache/hit-access", ITERS, || {
+        black_box(cache.access(black_box(0x40), AccessKind::Load, Some(ReqId(1)), 0));
     });
-    c.bench_function("cache/miss-fill-cycle", |b| {
-        let mut cache = Cache::new(CacheConfig::l1_data_default());
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(128);
-            let _ = cache.access(addr, AccessKind::Load, Some(ReqId(addr)), 0);
-            let _ = cache.pop_downstream();
-            black_box(cache.fill(addr, 0))
-        })
+    let mut cache = Cache::new(CacheConfig::l1_data_default());
+    let mut addr = 0u64;
+    bench("cache/miss-fill-cycle", ITERS, || {
+        addr = addr.wrapping_add(128);
+        let _ = cache.access(addr, AccessKind::Load, Some(ReqId(addr)), 0);
+        let _ = cache.pop_downstream();
+        black_box(cache.fill(addr, 0));
     });
 }
 
-fn bench_dram(c: &mut Criterion) {
-    c.bench_function("dram/submit-tick", |b| {
-        let mut chan = DramChannel::new(DramConfig::gddr5_default());
-        let mut now = 0u64;
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(128) % (1 << 20);
-            let _ = chan.submit(
-                DramRequest {
-                    local_addr: addr,
-                    is_read: true,
-                    token: addr,
-                },
-                now,
-            );
-            let done = chan.tick(now);
-            now += 1;
-            black_box(done)
-        })
+fn bench_dram() {
+    let mut chan = DramChannel::new(DramConfig::gddr5_default());
+    let mut now = 0u64;
+    let mut addr = 0u64;
+    bench("dram/submit-tick", ITERS, || {
+        addr = addr.wrapping_add(128) % (1 << 20);
+        let _ = chan.submit(
+            DramRequest {
+                local_addr: addr,
+                is_read: true,
+                token: addr,
+            },
+            now,
+        );
+        let done = chan.tick(now);
+        now += 1;
+        black_box(done);
     });
 }
 
-fn bench_xbar(c: &mut Criterion) {
-    c.bench_function("xbar/send-tick-pop", |b| {
-        let mut x: Crossbar<u64> = Crossbar::new(XbarConfig::default_with_ports(15, 6));
-        let mut now = 0u64;
-        b.iter(|| {
-            let _ = x.try_send(now, (now % 15) as usize, (now % 6) as usize, 128, now);
-            x.tick(now);
-            for d in 0..6 {
-                while let Some(p) = x.pop_delivered(d) {
-                    black_box(p);
-                }
+fn bench_xbar() {
+    let mut x: Crossbar<u64> = Crossbar::new(XbarConfig::default_with_ports(15, 6));
+    let mut now = 0u64;
+    bench("xbar/send-tick-pop", ITERS, || {
+        let _ = x.try_send(now, (now % 15) as usize, (now % 6) as usize, 128, now);
+        x.tick(now);
+        for d in 0..6 {
+            while let Some(p) = x.pop_delivered(d) {
+                black_box(p);
             }
-            now += 1;
-        })
+        }
+        now += 1;
     });
 }
 
-fn bench_coalesce(c: &mut Criterion) {
+fn bench_coalesce() {
     let coalesced: [u64; 32] = std::array::from_fn(|l| 0x1000 + 4 * l as u64);
     let scattered: [u64; 32] = std::array::from_fn(|l| (l as u64) * 4096 + 64);
-    c.bench_function("coalesce/unit-stride", |b| {
-        b.iter(|| black_box(coalesce(black_box(&coalesced), FULL_MASK, 4, 128)))
+    bench("coalesce/unit-stride", ITERS, || {
+        black_box(coalesce(black_box(&coalesced), FULL_MASK, 4, 128));
     });
-    c.bench_function("coalesce/scattered", |b| {
-        b.iter(|| black_box(coalesce(black_box(&scattered), FULL_MASK, 4, 128)))
-    });
-}
-
-fn bench_simt(c: &mut Criterion) {
-    c.bench_function("simt/divergent-loop-iteration", |b| {
-        b.iter(|| {
-            let mut s = SimtStack::new(FULL_MASK);
-            let mut live = FULL_MASK;
-            for i in 0..31u32 {
-                let leaving = 1u32 << i;
-                s.branch(leaving, live & !leaving, 100, 100);
-                live &= !leaving;
-                let _ = black_box(s.sync(0));
-                s.jump(0);
-            }
-            black_box(s.depth())
-        })
+    bench("coalesce/scattered", ITERS, || {
+        black_box(coalesce(black_box(&scattered), FULL_MASK, 4, 128));
     });
 }
 
-criterion_group!(benches, bench_cache, bench_dram, bench_xbar, bench_coalesce, bench_simt);
-criterion_main!(benches);
+fn bench_simt() {
+    bench("simt/divergent-loop", ITERS / 10, || {
+        let mut s = SimtStack::new(FULL_MASK);
+        let mut live = FULL_MASK;
+        for i in 0..31u32 {
+            let leaving = 1u32 << i;
+            s.branch(leaving, live & !leaving, 100, 100);
+            live &= !leaving;
+            let _ = black_box(s.sync(0));
+            s.jump(0);
+        }
+        black_box(s.depth());
+    });
+}
+
+fn main() {
+    bench_cache();
+    bench_dram();
+    bench_xbar();
+    bench_coalesce();
+    bench_simt();
+}

@@ -1,27 +1,68 @@
 //! Experiment CLI: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! exp --all               # run E1..E10 at Small scale
-//! exp e3 e5               # run a subset
-//! exp --quick --all       # Tiny scale (smoke test)
-//! exp --list              # show experiment ids
+//! exp --all                     # run E1..E10 at Small scale
+//! exp e3 e5                     # run a subset
+//! exp --quick --all             # Tiny scale (smoke test)
+//! exp --jobs 8 --all            # cap the worker-thread count
+//! exp --out-dir /tmp/csv e3     # write CSVs elsewhere
+//! exp --list                    # show experiment ids
 //! ```
 //!
-//! Tables are printed and written as CSV under `results/`.
+//! All selected experiments are planned up front and deduplicated through
+//! one shared [`RunEngine`], so a baseline run shared by several
+//! experiments simulates exactly once. Tables are printed and written as
+//! CSV under `results/` (or `--out-dir`).
 
-use gpgpu_bench::experiments::{all_ids, run_experiment};
+use gpgpu_bench::experiments::{all_ids, collect_experiment, plan_experiment};
 use gpgpu_bench::Harness;
+use gpgpu_workloads::Scale;
 use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: exp [options] (--all | e1 e2 ... e10)
+  --quick          Tiny workloads (alias for --scale tiny)
+  --scale SCALE    workload scale: tiny | small (default small)
+  --jobs N         worker threads for the run engine (default: all cores)
+  --out-dir PATH   directory CSVs are written to (default: results/)
+  --list           list experiment ids
+  --help           show this help";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut quick = false;
+    let mut h = Harness::default();
     let mut run_all = false;
     let mut ids: Vec<String> = Vec::new();
-    for a in &args {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => quick = true,
+            "--quick" => h.scale = Scale::Tiny,
             "--all" => run_all = true,
+            "--jobs" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--jobs needs a positive integer; try --help");
+                    return ExitCode::FAILURE;
+                };
+                h.jobs = n;
+            }
+            "--out-dir" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--out-dir needs a path; try --help");
+                    return ExitCode::FAILURE;
+                };
+                h.out_dir = dir.into();
+            }
+            "--scale" => {
+                match it.next().map(String::as_str) {
+                    Some("tiny") => h.scale = Scale::Tiny,
+                    Some("small") => h.scale = Scale::Small,
+                    other => {
+                        eprintln!("--scale must be tiny or small, got {other:?}; try --help");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--list" => {
                 for id in all_ids() {
                     println!("{id}");
@@ -29,12 +70,10 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--help" | "-h" => {
-                println!("usage: exp [--quick] (--all | e1 e2 ... e10)");
-                println!("  --quick  Tiny workloads (smoke test)");
-                println!("  --list   list experiment ids");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            id if id.starts_with('e') => ids.push(id.to_string()),
+            id if id.starts_with('e') && all_ids().contains(&id) => ids.push(id.to_string()),
             other => {
                 eprintln!("unknown argument {other:?}; try --help");
                 return ExitCode::FAILURE;
@@ -49,11 +88,22 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let h = if quick { Harness::quick() } else { Harness::default() };
     let total = std::time::Instant::now();
+
+    // Plan every selected experiment up front so the engine can dedup
+    // shared specs (e.g. the GTO baseline) across experiments, then
+    // execute the unique remainder on the worker pool.
+    let engine = h.engine();
+    let mut specs = Vec::new();
+    for id in &ids {
+        specs.extend(plan_experiment(id, &h));
+    }
+    let planned = specs.len();
+    engine.execute_batch(&specs);
+
     for id in &ids {
         let t0 = std::time::Instant::now();
-        let tables = run_experiment(id, &h);
+        let tables = collect_experiment(id, &h, &engine);
         for (i, table) in tables.iter().enumerate() {
             println!("{table}");
             let path = if tables.len() == 1 {
@@ -65,8 +115,15 @@ fn main() -> ExitCode {
                 eprintln!("warning: could not write {}: {e}", path.display());
             }
         }
-        println!("[{id} took {:.1?}]\n", t0.elapsed());
+        println!("[{id} collected in {:.1?}]\n", t0.elapsed());
     }
+    println!(
+        "[{} specs planned, {} simulated, {} deduplicated; {} worker threads]",
+        planned,
+        engine.runs_executed(),
+        engine.runs_deduped(),
+        engine.jobs()
+    );
     println!("[all experiments took {:.1?}]", total.elapsed());
     ExitCode::SUCCESS
 }

@@ -1,0 +1,419 @@
+//! The declarative run API: [`RunSpec`] describes one simulation as pure
+//! data, and [`RunEngine`] executes batches of specs — once each.
+//!
+//! The engine is the single seam every experiment's simulations flow
+//! through. It buys two things over ad-hoc call sites:
+//!
+//! * **Deduplication.** Experiments overlap heavily (E2–E7 and E9 all
+//!   re-measure the `gto`/`baseline` reference point per workload; E3, E5,
+//!   and E6 each re-run the full static-limit oracle sweep). Identical
+//!   specs — same workload, scale, GPU config, policies, and cycle budget
+//!   — are detected by content key and simulated once, within and across
+//!   experiments.
+//! * **Parallelism.** Unique specs fan out over [`parallel_map`] worker
+//!   threads. Each simulation is single-threaded and deterministic, so
+//!   results are bit-identical to a serial run regardless of the worker
+//!   count or completion order.
+//!
+//! The intended shape is two-phase: experiments *plan* (contribute specs),
+//! the engine *executes* the combined batch, then experiments *collect*
+//! (build their tables by looking results up by spec). [`RunEngine::get`]
+//! also executes on demand, so a collect phase can never observe a missing
+//! result and single-spec use (`run_one`-style compatibility wrappers)
+//! stays trivial.
+
+use crate::{parallel_map, Harness};
+use gpgpu_sim::{GpuConfig, KernelId, SimStats};
+use gpgpu_workloads::{by_name, run_pair, run_workload_with_device, RunOutcome, Scale};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use tbs_core::{CtaPolicy, Lcs, WarpPolicy};
+
+/// What a [`RunSpec`] simulates: one kernel, or two kernels sharing the
+/// device (the E8 concurrent-kernel-execution shape).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunKind {
+    /// One workload, launched alone.
+    Single {
+        /// Suite name of the workload (see `gpgpu_workloads::by_name`).
+        workload: String,
+    },
+    /// Two workloads on one device: both at cycle 0, or `b` after `a`.
+    Pair {
+        /// Suite name of the first (memory-side) workload.
+        a: String,
+        /// Suite name of the second (compute-side) workload.
+        b: String,
+        /// Launch `b` only after `a` completes (serial-execution regime).
+        serial: bool,
+    },
+}
+
+/// A fully declarative description of one simulation: workload(s), scale,
+/// GPU configuration, scheduling policies, and cycle budget.
+///
+/// Two specs with equal content are the *same* run — the engine derives a
+/// stable [`RunKey`] from every field and never simulates a key twice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Workload selection.
+    pub kind: RunKind,
+    /// Problem-size preset.
+    pub scale: Scale,
+    /// GPU configuration (keyed by full content, so config sweeps get
+    /// distinct runs).
+    pub gpu: GpuConfig,
+    /// Warp-scheduler policy.
+    pub warp: WarpPolicy,
+    /// CTA-scheduler policy.
+    pub cta: CtaPolicy,
+    /// Per-run cycle budget.
+    pub max_cycles: u64,
+}
+
+impl RunSpec {
+    /// A single-workload spec using the harness GPU config and scale.
+    pub fn single(h: &Harness, name: &str, warp: WarpPolicy, cta: CtaPolicy) -> Self {
+        Self::single_cfg(h, h.gpu.clone(), name, warp, cta)
+    }
+
+    /// As [`RunSpec::single`] with an explicit GPU config (for
+    /// configuration sweeps).
+    pub fn single_cfg(
+        h: &Harness,
+        gpu: GpuConfig,
+        name: &str,
+        warp: WarpPolicy,
+        cta: CtaPolicy,
+    ) -> Self {
+        RunSpec {
+            kind: RunKind::Single {
+                workload: name.to_string(),
+            },
+            scale: h.scale,
+            gpu,
+            warp,
+            cta,
+            max_cycles: h.max_cycles,
+        }
+    }
+
+    /// A two-kernel spec (concurrent unless `serial`) using the harness
+    /// GPU config and scale.
+    pub fn pair(h: &Harness, a: &str, b: &str, warp: WarpPolicy, cta: CtaPolicy, serial: bool) -> Self {
+        RunSpec {
+            kind: RunKind::Pair {
+                a: a.to_string(),
+                b: b.to_string(),
+                serial,
+            },
+            scale: h.scale,
+            gpu: h.gpu.clone(),
+            warp,
+            cta,
+            max_cycles: h.max_cycles,
+        }
+    }
+
+    /// The stable content key identifying this run.
+    ///
+    /// Derived from every field (the GPU config via its complete `Debug`
+    /// field dump), so any difference in configuration yields a different
+    /// key and exact duplicates collapse to one.
+    pub fn key(&self) -> RunKey {
+        let kind = match &self.kind {
+            RunKind::Single { workload } => format!("single:{workload}"),
+            RunKind::Pair { a, b, serial } => format!("pair:{a}+{b}:serial={serial}"),
+        };
+        RunKey(format!(
+            "{kind}|scale={:?}|warp={}|cta={}|max_cycles={}|gpu={:?}",
+            self.scale, self.warp, self.cta, self.max_cycles, self.gpu
+        ))
+    }
+}
+
+/// The stable content key of a [`RunSpec`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RunKey(String);
+
+/// The memoized result of one executed spec.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Full simulator statistics.
+    pub stats: SimStats,
+    /// Kernel ids in launch order (one for singles, two for pairs).
+    pub kernels: Vec<KernelId>,
+    /// When the CTA policy was LCS: the per-core limits it decided during
+    /// the run, sorted ascending (the E6 accuracy input).
+    pub lcs_limits: Option<Vec<u32>>,
+}
+
+impl RunResult {
+    /// The first (or only) kernel's outcome, for `RunOutcome`-shaped
+    /// consumers.
+    pub fn outcome(&self) -> RunOutcome {
+        RunOutcome {
+            stats: self.stats.clone(),
+            kernel: self.kernels[0],
+        }
+    }
+
+    /// The first kernel's execution cycles.
+    pub fn cycles(&self) -> u64 {
+        self.outcome().cycles()
+    }
+
+    /// The first kernel's IPC.
+    pub fn ipc(&self) -> f64 {
+        self.outcome().ipc()
+    }
+
+    /// Whole-device cycles (for pairs: time to finish both kernels).
+    pub fn total_cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+}
+
+/// Executes [`RunSpec`] batches: deduplicates by content key, fans unique
+/// specs out over worker threads, and memoizes every result for lookup.
+///
+/// Cheap to construct; hold one per sweep (or share one across experiments
+/// to deduplicate between them, as the `exp` binary does).
+pub struct RunEngine {
+    jobs: usize,
+    memo: Mutex<HashMap<RunKey, Arc<RunResult>>>,
+    executed: AtomicUsize,
+    deduped: AtomicUsize,
+}
+
+impl RunEngine {
+    /// An engine fanning out over up to `jobs` worker threads.
+    pub fn new(jobs: usize) -> Self {
+        RunEngine {
+            jobs: jobs.max(1),
+            memo: Mutex::new(HashMap::new()),
+            executed: AtomicUsize::new(0),
+            deduped: AtomicUsize::new(0),
+        }
+    }
+
+    /// Executes every spec in `specs` that has not already been executed,
+    /// in parallel. Duplicates — within the batch or against earlier
+    /// batches — are counted as deduplicated and not re-simulated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a simulation fails or its output does not verify (an
+    /// experiment must not silently report a broken run).
+    pub fn execute_batch(&self, specs: &[RunSpec]) {
+        let mut fresh: Vec<(RunKey, RunSpec)> = Vec::new();
+        {
+            let memo = self.memo.lock().expect("not poisoned");
+            let mut batch_keys: HashSet<RunKey> = HashSet::new();
+            for spec in specs {
+                let key = spec.key();
+                if memo.contains_key(&key) || !batch_keys.insert(key.clone()) {
+                    self.deduped.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    fresh.push((key, spec.clone()));
+                }
+            }
+        }
+        let jobs: Vec<_> = fresh
+            .iter()
+            .map(|(_, spec)| {
+                let spec = spec.clone();
+                move || execute_spec(&spec)
+            })
+            .collect();
+        let results = parallel_map(jobs, self.jobs);
+        self.executed.fetch_add(fresh.len(), Ordering::Relaxed);
+        let mut memo = self.memo.lock().expect("not poisoned");
+        for ((key, _), result) in fresh.into_iter().zip(results) {
+            memo.insert(key, Arc::new(result));
+        }
+    }
+
+    /// The memoized result for `spec`, executing it first if no batch has
+    /// covered it yet (so a collect phase can never observe a miss).
+    ///
+    /// # Panics
+    ///
+    /// As [`RunEngine::execute_batch`].
+    pub fn get(&self, spec: &RunSpec) -> Arc<RunResult> {
+        let key = spec.key();
+        if let Some(r) = self.memo.lock().expect("not poisoned").get(&key) {
+            return Arc::clone(r);
+        }
+        let result = Arc::new(execute_spec(spec));
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        let mut memo = self.memo.lock().expect("not poisoned");
+        Arc::clone(memo.entry(key).or_insert(result))
+    }
+
+    /// Number of simulations actually executed.
+    pub fn runs_executed(&self) -> usize {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Number of requested runs satisfied from the memo table instead of
+    /// being re-simulated.
+    pub fn runs_deduped(&self) -> usize {
+        self.deduped.load(Ordering::Relaxed)
+    }
+
+    /// Worker-thread count this engine fans out over.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::plan_experiment;
+
+    fn spec(h: &Harness) -> RunSpec {
+        RunSpec::single(h, "vecadd", WarpPolicy::Gto, CtaPolicy::Baseline(None))
+    }
+
+    #[test]
+    fn same_spec_twice_simulates_once() {
+        let h = Harness::quick();
+        let engine = RunEngine::new(2);
+        engine.execute_batch(&[spec(&h), spec(&h)]);
+        assert_eq!(engine.runs_executed(), 1);
+        assert_eq!(engine.runs_deduped(), 1);
+
+        // A later batch and a get() both hit the memo.
+        engine.execute_batch(&[spec(&h)]);
+        assert_eq!(engine.runs_executed(), 1);
+        assert_eq!(engine.runs_deduped(), 2);
+        let a = engine.get(&spec(&h));
+        let b = engine.get(&spec(&h));
+        assert_eq!(engine.runs_executed(), 1);
+        assert_eq!(a.stats, b.stats);
+        assert!(Arc::ptr_eq(&a, &b), "memo returns the same allocation");
+    }
+
+    #[test]
+    fn parallel_results_match_serial() {
+        let h = Harness::quick();
+        let serial = RunEngine::new(1);
+        let parallel = RunEngine::new(4);
+        let specs = [
+            spec(&h),
+            RunSpec::single(&h, "vecadd", WarpPolicy::Gto, CtaPolicy::Lcs(0.7)),
+            RunSpec::single(&h, "saxpy", WarpPolicy::Lrr, CtaPolicy::Baseline(None)),
+        ];
+        serial.execute_batch(&specs);
+        parallel.execute_batch(&specs);
+        for s in &specs {
+            assert_eq!(
+                serial.get(s).stats,
+                parallel.get(s).stats,
+                "worker count must not change results ({:?})",
+                s.key()
+            );
+        }
+    }
+
+    #[test]
+    fn shared_baseline_dedups_across_experiments() {
+        let h = Harness::quick();
+        let engine = h.engine();
+        // E7 and E9 both measure the gto/baseline reference point for
+        // overlapping workloads; planning both through one engine must
+        // simulate the shared specs once.
+        let mut specs = plan_experiment("e7", &h);
+        specs.extend(plan_experiment("e9", &h));
+        let planned = specs.len();
+        engine.execute_batch(&specs);
+        assert!(
+            engine.runs_deduped() > 0,
+            "expected shared baseline specs across e7/e9"
+        );
+        assert_eq!(engine.runs_executed() + engine.runs_deduped(), planned);
+        assert!(engine.runs_executed() < planned);
+    }
+
+    #[test]
+    fn key_separates_configs() {
+        let h = Harness::quick();
+        let base = spec(&h);
+        let mut other_gpu = h.gpu.clone();
+        other_gpu.l1.size_bytes *= 2;
+        let resized = RunSpec::single_cfg(
+            &h,
+            other_gpu,
+            "vecadd",
+            WarpPolicy::Gto,
+            CtaPolicy::Baseline(None),
+        );
+        assert_eq!(base.key(), spec(&h).key());
+        assert_ne!(base.key(), resized.key());
+        assert_ne!(
+            base.key(),
+            RunSpec::single(&h, "vecadd", WarpPolicy::Gto, CtaPolicy::Lcs(0.7)).key()
+        );
+    }
+}
+
+/// Runs one spec to completion and verifies it. The execution itself is
+/// exactly the pre-engine serial path (`run_workload` / `run_pair` on a
+/// fresh device), so results are bit-identical to ad-hoc call sites.
+fn execute_spec(spec: &RunSpec) -> RunResult {
+    match &spec.kind {
+        RunKind::Single { workload } => {
+            let mut w = by_name(workload, spec.scale)
+                .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
+            let factory = spec.warp.factory();
+            let (outcome, gpu) = run_workload_with_device(
+                w.as_mut(),
+                spec.gpu.clone(),
+                factory.as_ref(),
+                spec.cta.scheduler(),
+                spec.max_cycles,
+            )
+            .unwrap_or_else(|e| panic!("{workload} under {}/{}: {e}", spec.warp, spec.cta));
+            // Capture LCS's decided limits so accuracy experiments can run
+            // through the memo table too (sorted: the scheduler's map
+            // iterates in arbitrary order).
+            let lcs_limits = gpu
+                .cta_scheduler()
+                .as_any()
+                .and_then(|a| a.downcast_ref::<Lcs>())
+                .map(|lcs| {
+                    let mut v: Vec<u32> = lcs.decisions().map(|(_, limit)| *limit).collect();
+                    v.sort_unstable();
+                    v
+                });
+            RunResult {
+                stats: outcome.stats,
+                kernels: vec![outcome.kernel],
+                lcs_limits,
+            }
+        }
+        RunKind::Pair { a, b, serial } => {
+            let mut wa = by_name(a, spec.scale).unwrap_or_else(|| panic!("unknown workload {a:?}"));
+            let mut wb = by_name(b, spec.scale).unwrap_or_else(|| panic!("unknown workload {b:?}"));
+            let factory = spec.warp.factory();
+            let (stats, ka, kb) = run_pair(
+                wa.as_mut(),
+                wb.as_mut(),
+                spec.gpu.clone(),
+                factory.as_ref(),
+                spec.cta.scheduler(),
+                *serial,
+                spec.max_cycles,
+            )
+            .unwrap_or_else(|e| panic!("pair {a}+{b} under {}/{}: {e}", spec.warp, spec.cta));
+            RunResult {
+                stats,
+                kernels: vec![ka, kb],
+                lcs_limits: None,
+            }
+        }
+    }
+}

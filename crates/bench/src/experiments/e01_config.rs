@@ -1,10 +1,20 @@
 //! E1 — the simulated-machine configuration table (the paper's
 //! "simulation configuration" table).
 
-use crate::{Harness, Table};
+use crate::{Harness, RunEngine, RunSpec, Table};
+
+/// E1 simulates nothing — the table is read straight off the config.
+pub(crate) fn plan(_h: &Harness) -> Vec<RunSpec> {
+    Vec::new()
+}
 
 /// Emits the configuration table.
 pub fn run(h: &Harness) -> Vec<Table> {
+    collect(h, &h.engine())
+}
+
+/// As [`run`]; the engine is unused (E1 has no simulations).
+pub(crate) fn collect(h: &Harness, _engine: &RunEngine) -> Vec<Table> {
     let g = &h.gpu;
     let mut t = Table::new("E1: simulated GPU configuration", &["parameter", "value"]);
     let rows: Vec<(&str, String)> = vec![

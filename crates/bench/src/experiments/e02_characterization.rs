@@ -2,14 +2,29 @@
 //! class, launch geometry, occupancy limit, dynamic instructions, IPC at
 //! the hardware-maximum CTA count, and memory-system behaviour.
 
-use super::{r3, run_one};
-use crate::{Harness, Table};
+use super::r3;
+use crate::{Harness, RunEngine, RunSpec, Table};
 use gpgpu_sim::core_model::Core;
 use gpgpu_sim::GlobalMem;
 use tbs_core::{CtaPolicy, WarpPolicy};
 
+/// One GTO + baseline run per suite member.
+pub(crate) fn plan(h: &Harness) -> Vec<RunSpec> {
+    gpgpu_workloads::suite(h.scale)
+        .iter()
+        .map(|w| RunSpec::single(h, w.name(), WarpPolicy::Gto, CtaPolicy::Baseline(None)))
+        .collect()
+}
+
 /// Runs every suite member once under GTO + baseline and tabulates.
 pub fn run(h: &Harness) -> Vec<Table> {
+    let engine = h.engine();
+    engine.execute_batch(&plan(h));
+    collect(h, &engine)
+}
+
+/// Tabulates from memoized results.
+pub(crate) fn collect(h: &Harness, engine: &RunEngine) -> Vec<Table> {
     let mut t = Table::new(
         "E2: workload characterization (GTO, baseline CTA scheduler, max CTAs)",
         &[
@@ -22,7 +37,9 @@ pub fn run(h: &Harness) -> Vec<Table> {
         let mut scratch = GlobalMem::new();
         let desc = w.prepare(&mut scratch);
         let hw_max = Core::hw_max_ctas(&h.gpu, &desc);
-        let out = run_one(h, w.name(), WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let out = engine
+            .get(&RunSpec::single(h, w.name(), WarpPolicy::Gto, CtaPolicy::Baseline(None)))
+            .outcome();
         let ks = out.stats.kernel(out.kernel).expect("kernel ran");
         t.push_row(vec![
             w.name().to_string(),

@@ -3,8 +3,8 @@
 //! memory-intensive and cache-sensitive kernels (the curve is an inverted
 //! U), while compute-intensive kernels want the maximum.
 
-use super::{r3, run_one, LIMIT_SWEEP};
-use crate::{Harness, Table};
+use super::{r3, LIMIT_SWEEP};
+use crate::{Harness, RunEngine, RunSpec, Table};
 use tbs_core::{CtaPolicy, WarpPolicy};
 
 /// Representative workloads spanning the three classes.
@@ -17,9 +17,33 @@ pub const SWEEP_SUITE: [&str; 6] = [
     "matmul-tiled",
 ];
 
+/// The unlimited baseline plus every static limit, per sweep workload.
+pub(crate) fn plan(h: &Harness) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for name in SWEEP_SUITE {
+        specs.push(RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
+        for limit in LIMIT_SWEEP {
+            specs.push(RunSpec::single(
+                h,
+                name,
+                WarpPolicy::Gto,
+                CtaPolicy::Baseline(Some(limit)),
+            ));
+        }
+    }
+    specs
+}
+
 /// Sweeps the static CTA limit for each representative workload. Reports
 /// IPC normalized to the unlimited (hardware-maximum) baseline.
 pub fn run(h: &Harness) -> Vec<Table> {
+    let engine = h.engine();
+    engine.execute_batch(&plan(h));
+    collect(h, &engine)
+}
+
+/// Tabulates from memoized results.
+pub(crate) fn collect(h: &Harness, engine: &RunEngine) -> Vec<Table> {
     let mut cols: Vec<String> = vec!["workload".into(), "class".into()];
     cols.extend(LIMIT_SWEEP.iter().map(|l| format!("limit-{l}")));
     cols.push("best-limit".into());
@@ -31,7 +55,7 @@ pub fn run(h: &Harness) -> Vec<Table> {
     );
 
     for name in SWEEP_SUITE {
-        let base = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let base = engine.get(&RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
         let base_cycles = base.cycles() as f64;
         let class = gpgpu_workloads::by_name(name, h.scale)
             .expect("suite member")
@@ -39,7 +63,12 @@ pub fn run(h: &Harness) -> Vec<Table> {
         let mut row = vec![name.to_string(), class.to_string()];
         let mut best = (0u32, 0.0f64);
         for limit in LIMIT_SWEEP {
-            let out = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(Some(limit)));
+            let out = engine.get(&RunSpec::single(
+                h,
+                name,
+                WarpPolicy::Gto,
+                CtaPolicy::Baseline(Some(limit)),
+            ));
             let speedup = base_cycles / out.cycles() as f64;
             if speedup > best.1 {
                 best = (limit, speedup);

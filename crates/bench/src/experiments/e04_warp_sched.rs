@@ -2,12 +2,33 @@
 //! under the baseline CTA scheduler, normalized to LRR. GTO is the
 //! reference point the paper's LCS builds on.
 
-use super::{all_names, r3, run_one};
-use crate::{Harness, Table};
+use super::{all_names, r3};
+use crate::{Harness, RunEngine, RunSpec, Table};
 use tbs_core::{CtaPolicy, WarpPolicy};
+
+/// The three warp schedulers compared.
+const SCHEDULERS: [WarpPolicy; 3] = [WarpPolicy::Lrr, WarpPolicy::Gto, WarpPolicy::TwoLevel(8)];
+
+/// Every suite member under each compared warp scheduler.
+pub(crate) fn plan(h: &Harness) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for name in all_names(h) {
+        for warp in SCHEDULERS {
+            specs.push(RunSpec::single(h, &name, warp, CtaPolicy::Baseline(None)));
+        }
+    }
+    specs
+}
 
 /// Runs the whole suite under each warp scheduler.
 pub fn run(h: &Harness) -> Vec<Table> {
+    let engine = h.engine();
+    engine.execute_batch(&plan(h));
+    collect(h, &engine)
+}
+
+/// Tabulates from memoized results.
+pub(crate) fn collect(h: &Harness, engine: &RunEngine) -> Vec<Table> {
     let mut t = Table::new(
         "E4: warp schedulers, IPC normalized to LRR (baseline CTA scheduler)",
         &["workload", "class", "lrr-ipc", "gto", "two-level", "gto-wins"],
@@ -18,9 +39,14 @@ pub fn run(h: &Harness) -> Vec<Table> {
         let class = gpgpu_workloads::by_name(&name, h.scale)
             .expect("suite member")
             .class();
-        let lrr = run_one(h, &name, WarpPolicy::Lrr, CtaPolicy::Baseline(None));
-        let gto = run_one(h, &name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
-        let two = run_one(h, &name, WarpPolicy::TwoLevel(8), CtaPolicy::Baseline(None));
+        let lrr = engine.get(&RunSpec::single(h, &name, WarpPolicy::Lrr, CtaPolicy::Baseline(None)));
+        let gto = engine.get(&RunSpec::single(h, &name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
+        let two = engine.get(&RunSpec::single(
+            h,
+            &name,
+            WarpPolicy::TwoLevel(8),
+            CtaPolicy::Baseline(None),
+        ));
         let gto_rel = lrr.cycles() as f64 / gto.cycles() as f64;
         let two_rel = lrr.cycles() as f64 / two.cycles() as f64;
         gto_geomean *= gto_rel;

@@ -3,8 +3,8 @@
 //! (best value from an offline sweep), plus the `lcs-lrr` ablation showing
 //! the estimate needs its greedy sensor scheduler.
 
-use super::{all_names, r3, run_one, LIMIT_SWEEP};
-use crate::{Harness, Table};
+use super::{all_names, r3, LIMIT_SWEEP};
+use crate::{Harness, RunEngine, RunSpec, Table};
 use tbs_core::{CtaPolicy, WarpPolicy};
 
 /// One row of the LCS experiment.
@@ -28,29 +28,65 @@ pub struct LcsRow {
     pub dyncta: f64,
 }
 
+/// Per suite member: the baseline, LCS, the static-limit oracle sweep,
+/// the LRR-sensor ablation (and its LRR baseline), and DYNCTA.
+pub(crate) fn plan(h: &Harness) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for name in all_names(h) {
+        specs.push(RunSpec::single(h, &name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
+        specs.push(RunSpec::single(h, &name, WarpPolicy::Gto, CtaPolicy::Lcs(0.7)));
+        for limit in LIMIT_SWEEP {
+            specs.push(RunSpec::single(
+                h,
+                &name,
+                WarpPolicy::Gto,
+                CtaPolicy::Baseline(Some(limit)),
+            ));
+        }
+        specs.push(RunSpec::single(h, &name, WarpPolicy::Lrr, CtaPolicy::Baseline(None)));
+        specs.push(RunSpec::single(h, &name, WarpPolicy::Lrr, CtaPolicy::Lcs(0.7)));
+        specs.push(RunSpec::single(h, &name, WarpPolicy::Gto, CtaPolicy::Dyncta));
+    }
+    specs
+}
+
 /// Runs the LCS comparison for every suite member.
 pub fn rows(h: &Harness) -> Vec<LcsRow> {
+    let engine = h.engine();
+    engine.execute_batch(&plan(h));
+    rows_with(h, &engine)
+}
+
+/// As [`rows`], reading from a shared engine's memoized results.
+pub fn rows_with(h: &Harness, engine: &RunEngine) -> Vec<LcsRow> {
     let mut out = Vec::new();
     for name in all_names(h) {
         let class = gpgpu_workloads::by_name(&name, h.scale)
             .expect("suite member")
             .class()
             .to_string();
-        let base = run_one(h, &name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
-        let lcs = run_one(h, &name, WarpPolicy::Gto, CtaPolicy::Lcs(0.7));
+        let base =
+            engine.get(&RunSpec::single(h, &name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
+        let lcs = engine.get(&RunSpec::single(h, &name, WarpPolicy::Gto, CtaPolicy::Lcs(0.7)));
         // Oracle: best static limit (including "no limit" as the max).
         let mut oracle = (u32::MAX, base.cycles()); // limit MAX = unlimited
         for limit in LIMIT_SWEEP {
-            let o = run_one(h, &name, WarpPolicy::Gto, CtaPolicy::Baseline(Some(limit)));
+            let o = engine.get(&RunSpec::single(
+                h,
+                &name,
+                WarpPolicy::Gto,
+                CtaPolicy::Baseline(Some(limit)),
+            ));
             if o.cycles() < oracle.1 {
                 oracle = (limit, o.cycles());
             }
         }
         // Ablation: the same estimator fed by LRR issue counts.
-        let lrr_base = run_one(h, &name, WarpPolicy::Lrr, CtaPolicy::Baseline(None));
-        let lcs_lrr = run_one(h, &name, WarpPolicy::Lrr, CtaPolicy::Lcs(0.7));
+        let lrr_base =
+            engine.get(&RunSpec::single(h, &name, WarpPolicy::Lrr, CtaPolicy::Baseline(None)));
+        let lcs_lrr = engine.get(&RunSpec::single(h, &name, WarpPolicy::Lrr, CtaPolicy::Lcs(0.7)));
         // Related-work comparator: continuous adaptation.
-        let dyn_out = run_one(h, &name, WarpPolicy::Gto, CtaPolicy::Dyncta);
+        let dyn_out = engine.get(&RunSpec::single(h, &name, WarpPolicy::Gto, CtaPolicy::Dyncta));
         out.push(LcsRow {
             name,
             class,
@@ -67,11 +103,18 @@ pub fn rows(h: &Harness) -> Vec<LcsRow> {
 
 /// Tabulates [`rows`].
 pub fn run(h: &Harness) -> Vec<Table> {
+    let engine = h.engine();
+    engine.execute_batch(&plan(h));
+    collect(h, &engine)
+}
+
+/// Tabulates from memoized results.
+pub(crate) fn collect(h: &Harness, engine: &RunEngine) -> Vec<Table> {
     let mut t = Table::new(
         "E5: LCS speedup over baseline (GTO, max CTAs); oracle = best static limit",
         &["workload", "class", "base-cycles", "lcs", "oracle", "oracle-limit", "lcs-lrr", "dyncta"],
     );
-    let rs = rows(h);
+    let rs = rows_with(h, engine);
     let (mut g_lcs, mut g_oracle) = (1.0f64, 1.0f64);
     for r in &rs {
         g_lcs *= r.lcs;

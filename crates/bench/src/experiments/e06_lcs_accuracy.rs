@@ -2,10 +2,10 @@
 //! per-core limits LCS decided during the run versus the best static limit
 //! from an offline sweep.
 
-use super::{r3, run_one, LIMIT_SWEEP};
-use crate::{Harness, Table};
-use gpgpu_workloads::{by_name, run_workload_with_device};
-use tbs_core::{CtaPolicy, Lcs, WarpPolicy};
+use super::{r3, LIMIT_SWEEP};
+use crate::{Harness, RunEngine, RunSpec, Table};
+use gpgpu_workloads::by_name;
+use tbs_core::{CtaPolicy, WarpPolicy};
 
 /// Workloads shown in the accuracy table (one per class plus extremes).
 pub const ACCURACY_SUITE: [&str; 6] = [
@@ -17,9 +17,36 @@ pub const ACCURACY_SUITE: [&str; 6] = [
     "matmul-tiled",
 ];
 
+/// Per accuracy workload: the LCS run (whose result carries the decided
+/// limits), the unlimited baseline, and the static-limit oracle sweep.
+pub(crate) fn plan(h: &Harness) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for name in ACCURACY_SUITE {
+        specs.push(RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Lcs(0.7)));
+        specs.push(RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
+        for limit in LIMIT_SWEEP {
+            specs.push(RunSpec::single(
+                h,
+                name,
+                WarpPolicy::Gto,
+                CtaPolicy::Baseline(Some(limit)),
+            ));
+        }
+    }
+    specs
+}
+
 /// For each workload: run LCS, extract the decided per-core limits, and
 /// compare with the oracle.
 pub fn run(h: &Harness) -> Vec<Table> {
+    let engine = h.engine();
+    engine.execute_batch(&plan(h));
+    collect(h, &engine)
+}
+
+/// Tabulates from memoized results (the engine captures LCS's decided
+/// limits on every LCS run, so no device access is needed here).
+pub(crate) fn collect(h: &Harness, engine: &RunEngine) -> Vec<Table> {
     let mut t = Table::new(
         "E6: LCS-decided per-core CTA limit vs the static oracle",
         &[
@@ -28,30 +55,21 @@ pub fn run(h: &Harness) -> Vec<Table> {
         ],
     );
     for name in ACCURACY_SUITE {
-        // LCS run, keeping the device to read the decisions back.
-        let mut w = by_name(name, h.scale).expect("suite member");
-        let factory = WarpPolicy::Gto.factory();
-        let (_, gpu) = run_workload_with_device(
-            w.as_mut(),
-            h.gpu.clone(),
-            factory.as_ref(),
-            CtaPolicy::Lcs(0.7).scheduler(),
-            h.max_cycles,
-        )
-        .unwrap_or_else(|e| panic!("{name} under lcs: {e}"));
+        let lcs = engine.get(&RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Lcs(0.7)));
         // Occupancy limit for context.
         let mut scratch = gpgpu_sim::GlobalMem::new();
         let desc = by_name(name, h.scale).expect("member").prepare(&mut scratch);
         let hw_max = gpgpu_sim::core_model::Core::hw_max_ctas(&h.gpu, &desc);
 
-        let lcs = gpu
-            .cta_scheduler()
-            .as_any()
-            .and_then(|a| a.downcast_ref::<Lcs>())
-            .expect("scheduler is Lcs");
         // The utilization guard reports u32::MAX ("keep the hardware
         // maximum"); clamp for display.
-        let mut limits: Vec<u32> = lcs.decisions().map(|(_, l)| (*l).min(hw_max)).collect();
+        let mut limits: Vec<u32> = lcs
+            .lcs_limits
+            .as_ref()
+            .expect("LCS run carries decided limits")
+            .iter()
+            .map(|&l| l.min(hw_max))
+            .collect();
         limits.sort_unstable();
         let (lo, med, hi) = if limits.is_empty() {
             (0, 0, 0)
@@ -64,10 +82,15 @@ pub fn run(h: &Harness) -> Vec<Table> {
         };
 
         // Oracle from the static sweep.
-        let base = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let base = engine.get(&RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
         let mut oracle = (u32::MAX, base.cycles());
         for limit in LIMIT_SWEEP {
-            let o = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(Some(limit)));
+            let o = engine.get(&RunSpec::single(
+                h,
+                name,
+                WarpPolicy::Gto,
+                CtaPolicy::Baseline(Some(limit)),
+            ));
             if o.cycles() < oracle.1 {
                 oracle = (limit, o.cycles());
             }

@@ -2,12 +2,30 @@
 //! the L1-miss/DRAM-row-hit movement that explains it, including the
 //! BCS-without-BAWS ablation.
 
-use super::{r3, run_one, LOCALITY_SUITE};
-use crate::{Harness, Table};
+use super::{r3, LOCALITY_SUITE};
+use crate::{Harness, RunEngine, RunSpec, Table};
 use tbs_core::{CtaPolicy, WarpPolicy};
+
+/// Baseline, BCS+GTO, and BCS+BAWS per locality workload.
+pub(crate) fn plan(h: &Harness) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for name in LOCALITY_SUITE {
+        specs.push(RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
+        specs.push(RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Bcs(2)));
+        specs.push(RunSpec::single(h, name, WarpPolicy::Baws(2), CtaPolicy::Bcs(2)));
+    }
+    specs
+}
 
 /// Runs baseline / BCS+GTO / BCS+BAWS for each locality workload.
 pub fn run(h: &Harness) -> Vec<Table> {
+    let engine = h.engine();
+    engine.execute_batch(&plan(h));
+    collect(h, &engine)
+}
+
+/// Tabulates from memoized results.
+pub(crate) fn collect(h: &Harness, engine: &RunEngine) -> Vec<Table> {
     let mut t = Table::new(
         "E7: BCS(2) and BAWS vs baseline (GTO + round-robin)",
         &[
@@ -17,9 +35,9 @@ pub fn run(h: &Harness) -> Vec<Table> {
     );
     let mut geo = 1.0f64;
     for name in LOCALITY_SUITE {
-        let base = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
-        let bcs = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Bcs(2));
-        let baws = run_one(h, name, WarpPolicy::Baws(2), CtaPolicy::Bcs(2));
+        let base = engine.get(&RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
+        let bcs = engine.get(&RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Bcs(2)));
+        let baws = engine.get(&RunSpec::single(h, name, WarpPolicy::Baws(2), CtaPolicy::Bcs(2)));
         let s_bcs = base.cycles() as f64 / bcs.cycles() as f64;
         let s_baws = base.cycles() as f64 / baws.cycles() as f64;
         geo *= s_baws;

@@ -4,8 +4,7 @@
 //! using LCS to size the memory kernel's share.
 
 use super::r3;
-use crate::{Harness, Table};
-use gpgpu_workloads::{by_name, run_pair};
+use crate::{Harness, RunEngine, RunSpec, Table};
 use tbs_core::{CtaPolicy, WarpPolicy};
 
 /// The kernel pairs (memory-side, compute-side).
@@ -16,26 +15,38 @@ pub const PAIRS: [(&str, &str); 4] = [
     ("saxpy", "matmul-naive"),
 ];
 
-fn run_mode(h: &Harness, a: &str, b: &str, cta: CtaPolicy, serial: bool) -> u64 {
-    let mut wa = by_name(a, h.scale).expect("suite member");
-    let mut wb = by_name(b, h.scale).expect("suite member");
-    let factory = WarpPolicy::Gto.factory();
-    let (stats, _, _) = run_pair(
-        wa.as_mut(),
-        wb.as_mut(),
-        h.gpu.clone(),
-        factory.as_ref(),
-        cta.scheduler(),
-        serial,
-        h.max_cycles,
-    )
-    .unwrap_or_else(|e| panic!("pair {a}+{b}: {e}"));
-    stats.cycles
+/// The three execution regimes compared, as (CTA policy, serial) pairs.
+const REGIMES: [(CtaPolicy, bool); 3] = [
+    (CtaPolicy::Baseline(None), true),
+    (CtaPolicy::LeftoverCke, false),
+    (CtaPolicy::MixedCke(0.7), false),
+];
+
+fn spec(h: &Harness, a: &str, b: &str, cta: CtaPolicy, serial: bool) -> RunSpec {
+    RunSpec::pair(h, a, b, WarpPolicy::Gto, cta, serial)
+}
+
+/// Every pair under serial, leftover-CKE, and mixed-CKE execution.
+pub(crate) fn plan(h: &Harness) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for (a, b) in PAIRS {
+        for (cta, serial) in REGIMES {
+            specs.push(spec(h, a, b, cta, serial));
+        }
+    }
+    specs
 }
 
 /// Runs each pair in the three regimes; reports total time to finish both
 /// kernels, normalized to serial.
 pub fn run(h: &Harness) -> Vec<Table> {
+    let engine = h.engine();
+    engine.execute_batch(&plan(h));
+    collect(h, &engine)
+}
+
+/// Tabulates from memoized results.
+pub(crate) fn collect(h: &Harness, engine: &RunEngine) -> Vec<Table> {
     let mut t = Table::new(
         "E8: concurrent kernel execution (total cycles for both kernels)",
         &[
@@ -44,9 +55,15 @@ pub fn run(h: &Harness) -> Vec<Table> {
     );
     let mut geo = 1.0f64;
     for (a, b) in PAIRS {
-        let serial = run_mode(h, a, b, CtaPolicy::Baseline(None), true);
-        let leftover = run_mode(h, a, b, CtaPolicy::LeftoverCke, false);
-        let mixed = run_mode(h, a, b, CtaPolicy::MixedCke(0.7), false);
+        let serial = engine
+            .get(&spec(h, a, b, CtaPolicy::Baseline(None), true))
+            .total_cycles();
+        let leftover = engine
+            .get(&spec(h, a, b, CtaPolicy::LeftoverCke, false))
+            .total_cycles();
+        let mixed = engine
+            .get(&spec(h, a, b, CtaPolicy::MixedCke(0.7), false))
+            .total_cycles();
         let s_leftover = serial as f64 / leftover as f64;
         let s_mixed = serial as f64 / mixed as f64;
         geo *= s_mixed;

@@ -1,8 +1,8 @@
 //! E9 — sensitivity of the two mechanisms to their single knob each:
 //! LCS's issue-count threshold `gamma` and BCS's block size.
 
-use super::{r3, run_one};
-use crate::{Harness, Table};
+use super::r3;
+use crate::{Harness, RunEngine, RunSpec, Table};
 use tbs_core::{CtaPolicy, WarpPolicy};
 
 /// `gamma` values swept.
@@ -13,17 +13,42 @@ pub const BLOCKS: [u32; 3] = [1, 2, 4];
 const LCS_SUITE: [&str; 4] = ["vecadd", "spmv-ell", "gather", "fmaheavy"];
 const BCS_SUITE: [&str; 3] = ["stencil2d", "hotspot", "vecadd"];
 
+/// Baselines plus the gamma sweep (LCS suite) and block sweep (BCS suite).
+pub(crate) fn plan(h: &Harness) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for name in LCS_SUITE {
+        specs.push(RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
+        for gamma in GAMMAS {
+            specs.push(RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Lcs(gamma)));
+        }
+    }
+    for name in BCS_SUITE {
+        specs.push(RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
+        for b in BLOCKS {
+            specs.push(RunSpec::single(h, name, WarpPolicy::Baws(b), CtaPolicy::Bcs(b)));
+        }
+    }
+    specs
+}
+
 /// Sweeps both knobs; speedups are relative to the GTO baseline.
 pub fn run(h: &Harness) -> Vec<Table> {
+    let engine = h.engine();
+    engine.execute_batch(&plan(h));
+    collect(h, &engine)
+}
+
+/// Tabulates from memoized results.
+pub(crate) fn collect(h: &Harness, engine: &RunEngine) -> Vec<Table> {
     let mut cols: Vec<String> = vec!["workload".into()];
     cols.extend(GAMMAS.iter().map(|g| format!("gamma-{g}")));
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut t1 = Table::new("E9a: LCS speedup vs gamma", &col_refs);
     for name in LCS_SUITE {
-        let base = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let base = engine.get(&RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
         let mut row = vec![name.to_string()];
         for gamma in GAMMAS {
-            let out = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Lcs(gamma));
+            let out = engine.get(&RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Lcs(gamma)));
             row.push(r3(base.cycles() as f64 / out.cycles() as f64));
         }
         t1.push_row(row);
@@ -34,10 +59,10 @@ pub fn run(h: &Harness) -> Vec<Table> {
     let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
     let mut t2 = Table::new("E9b: BCS+BAWS speedup vs block size", &col_refs);
     for name in BCS_SUITE {
-        let base = run_one(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let base = engine.get(&RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)));
         let mut row = vec![name.to_string()];
         for b in BLOCKS {
-            let out = run_one(h, name, WarpPolicy::Baws(b), CtaPolicy::Bcs(b));
+            let out = engine.get(&RunSpec::single(h, name, WarpPolicy::Baws(b), CtaPolicy::Bcs(b)));
             row.push(r3(base.cycles() as f64 / out.cycles() as f64));
         }
         t2.push_row(row);

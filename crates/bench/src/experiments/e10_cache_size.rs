@@ -1,8 +1,8 @@
 //! E10 — L1-capacity sensitivity: LCS's benefit should shrink as the L1
 //! grows (more resident CTAs fit without thrashing).
 
-use super::{r3, run_one_cfg};
-use crate::{Harness, Table};
+use super::r3;
+use crate::{Harness, RunEngine, RunSpec, Table};
 use tbs_core::{CtaPolicy, WarpPolicy};
 
 /// L1 capacities swept, in KiB.
@@ -10,8 +10,41 @@ pub const L1_SIZES_KIB: [u32; 3] = [16, 32, 48];
 
 const SUITE: [&str; 3] = ["spmv-ell", "vecadd", "matmul-naive"];
 
+/// The GPU config with the L1 resized to `size_kib`.
+fn sized_gpu(h: &Harness, size_kib: u32) -> gpgpu_sim::GpuConfig {
+    let mut gpu = h.gpu.clone();
+    gpu.l1.size_bytes = size_kib * 1024;
+    gpu
+}
+
+/// Baseline and LCS per workload at each L1 capacity.
+pub(crate) fn plan(h: &Harness) -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for name in SUITE {
+        for size in L1_SIZES_KIB {
+            let gpu = sized_gpu(h, size);
+            specs.push(RunSpec::single_cfg(
+                h,
+                gpu.clone(),
+                name,
+                WarpPolicy::Gto,
+                CtaPolicy::Baseline(None),
+            ));
+            specs.push(RunSpec::single_cfg(h, gpu, name, WarpPolicy::Gto, CtaPolicy::Lcs(0.7)));
+        }
+    }
+    specs
+}
+
 /// Sweeps the L1 size and reports baseline IPC and LCS speedup at each.
 pub fn run(h: &Harness) -> Vec<Table> {
+    let engine = h.engine();
+    engine.execute_batch(&plan(h));
+    collect(h, &engine)
+}
+
+/// Tabulates from memoized results.
+pub(crate) fn collect(h: &Harness, engine: &RunEngine) -> Vec<Table> {
     let mut cols: Vec<String> = vec!["workload".into()];
     for s in L1_SIZES_KIB {
         cols.push(format!("base-ipc-{s}k"));
@@ -22,10 +55,21 @@ pub fn run(h: &Harness) -> Vec<Table> {
     for name in SUITE {
         let mut row = vec![name.to_string()];
         for size in L1_SIZES_KIB {
-            let mut gpu = h.gpu.clone();
-            gpu.l1.size_bytes = size * 1024;
-            let base = run_one_cfg(h, gpu.clone(), name, WarpPolicy::Gto, CtaPolicy::Baseline(None));
-            let lcs = run_one_cfg(h, gpu, name, WarpPolicy::Gto, CtaPolicy::Lcs(0.7));
+            let gpu = sized_gpu(h, size);
+            let base = engine.get(&RunSpec::single_cfg(
+                h,
+                gpu.clone(),
+                name,
+                WarpPolicy::Gto,
+                CtaPolicy::Baseline(None),
+            ));
+            let lcs = engine.get(&RunSpec::single_cfg(
+                h,
+                gpu,
+                name,
+                WarpPolicy::Gto,
+                CtaPolicy::Lcs(0.7),
+            ));
             row.push(r3(base.ipc()));
             row.push(r3(base.cycles() as f64 / lcs.cycles() as f64));
         }

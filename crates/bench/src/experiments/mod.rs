@@ -4,6 +4,13 @@
 //! (see `DESIGN.md` for the index and `EXPERIMENTS.md` for measured
 //! results and the expected shapes). Every experiment returns one or more
 //! [`Table`]s; the `exp` binary prints them and writes CSVs.
+//!
+//! Experiments are two-phase: [`plan_experiment`] contributes the
+//! [`RunSpec`]s an experiment needs, a shared [`RunEngine`] executes the
+//! combined batch (deduplicating identical specs within and across
+//! experiments, in parallel), and [`collect_experiment`] builds the tables
+//! from the memoized results. [`run_experiment`] bundles all three for
+//! single-experiment use.
 
 pub mod e01_config;
 pub mod e02_characterization;
@@ -16,8 +23,8 @@ pub mod e08_cke;
 pub mod e09_sensitivity;
 pub mod e10_cache_size;
 
-use crate::{Harness, Table};
-use gpgpu_workloads::{by_name, run_workload, RunOutcome};
+use crate::{Harness, RunEngine, RunSpec, Table};
+use gpgpu_workloads::RunOutcome;
 use tbs_core::{CtaPolicy, WarpPolicy};
 
 /// All experiment ids, in order.
@@ -25,48 +32,91 @@ pub fn all_ids() -> Vec<&'static str> {
     vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
 }
 
-/// Runs one experiment by id.
+/// The specs experiment `id` needs executed before it can tabulate.
+///
+/// # Panics
+///
+/// Panics on an unknown id.
+pub fn plan_experiment(id: &str, h: &Harness) -> Vec<RunSpec> {
+    match id {
+        "e1" => e01_config::plan(h),
+        "e2" => e02_characterization::plan(h),
+        "e3" => e03_cta_sweep::plan(h),
+        "e4" => e04_warp_sched::plan(h),
+        "e5" => e05_lcs::plan(h),
+        "e6" => e06_lcs_accuracy::plan(h),
+        "e7" => e07_bcs::plan(h),
+        "e8" => e08_cke::plan(h),
+        "e9" => e09_sensitivity::plan(h),
+        "e10" => e10_cache_size::plan(h),
+        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
+    }
+}
+
+/// Builds experiment `id`'s tables from `engine`'s memoized results
+/// (executing any spec a batch did not cover on demand).
+///
+/// # Panics
+///
+/// Panics on an unknown id or if an on-demand simulation fails.
+pub fn collect_experiment(id: &str, h: &Harness, engine: &RunEngine) -> Vec<Table> {
+    match id {
+        "e1" => e01_config::collect(h, engine),
+        "e2" => e02_characterization::collect(h, engine),
+        "e3" => e03_cta_sweep::collect(h, engine),
+        "e4" => e04_warp_sched::collect(h, engine),
+        "e5" => e05_lcs::collect(h, engine),
+        "e6" => e06_lcs_accuracy::collect(h, engine),
+        "e7" => e07_bcs::collect(h, engine),
+        "e8" => e08_cke::collect(h, engine),
+        "e9" => e09_sensitivity::collect(h, engine),
+        "e10" => e10_cache_size::collect(h, engine),
+        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
+    }
+}
+
+/// Runs one experiment by id: plan, execute (on a fresh engine sized to
+/// `h.jobs`), collect.
 ///
 /// # Panics
 ///
 /// Panics on an unknown id or if a simulation fails (experiments are
 /// expected to complete).
 pub fn run_experiment(id: &str, h: &Harness) -> Vec<Table> {
-    match id {
-        "e1" => e01_config::run(h),
-        "e2" => e02_characterization::run(h),
-        "e3" => e03_cta_sweep::run(h),
-        "e4" => e04_warp_sched::run(h),
-        "e5" => e05_lcs::run(h),
-        "e6" => e06_lcs_accuracy::run(h),
-        "e7" => e07_bcs::run(h),
-        "e8" => e08_cke::run(h),
-        "e9" => e09_sensitivity::run(h),
-        "e10" => e10_cache_size::run(h),
-        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
-    }
+    let engine = h.engine();
+    engine.execute_batch(&plan_experiment(id, h));
+    collect_experiment(id, h, &engine)
 }
 
 /// Runs `name` under the given policies with the harness GPU config.
+///
+/// Compatibility wrapper over a single-spec [`RunEngine`] — new code
+/// should plan [`RunSpec`]s against a shared engine instead, which
+/// deduplicates and parallelizes across call sites.
+///
+/// # Panics
+///
 /// Panics on simulation or verification failure — an experiment must not
 /// silently report a broken run.
-pub(crate) fn run_one(h: &Harness, name: &str, warp: WarpPolicy, cta: CtaPolicy) -> RunOutcome {
+pub fn run_one(h: &Harness, name: &str, warp: WarpPolicy, cta: CtaPolicy) -> RunOutcome {
     run_one_cfg(h, h.gpu.clone(), name, warp, cta)
 }
 
 /// As [`run_one`] with an explicit GPU config (for configuration sweeps).
-pub(crate) fn run_one_cfg(
+///
+/// # Panics
+///
+/// As [`run_one`].
+pub fn run_one_cfg(
     h: &Harness,
     gpu: gpgpu_sim::GpuConfig,
     name: &str,
     warp: WarpPolicy,
     cta: CtaPolicy,
 ) -> RunOutcome {
-    let mut w = by_name(name, h.scale)
-        .unwrap_or_else(|| panic!("unknown workload {name:?}"));
-    let factory = warp.factory();
-    run_workload(w.as_mut(), gpu, factory.as_ref(), cta.scheduler(), h.max_cycles)
-        .unwrap_or_else(|e| panic!("{name} under {warp}/{cta}: {e}"))
+    RunEngine::new(1)
+        .get(&RunSpec::single_cfg(h, gpu, name, warp, cta))
+        .outcome()
 }
 
 /// Formats a ratio like `1.234`.

@@ -14,9 +14,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiments;
 pub mod table;
 
+pub use engine::{RunEngine, RunKey, RunKind, RunResult, RunSpec};
 pub use table::Table;
 
 use gpgpu_sim::GpuConfig;
@@ -33,6 +35,9 @@ pub struct Harness {
     pub max_cycles: u64,
     /// Directory CSVs are written to.
     pub out_dir: std::path::PathBuf,
+    /// Worker threads the [`RunEngine`] fans unique runs out over
+    /// (defaults to [`default_jobs`]).
+    pub jobs: usize,
 }
 
 impl Default for Harness {
@@ -42,6 +47,7 @@ impl Default for Harness {
             scale: Scale::Small,
             max_cycles: 400_000_000,
             out_dir: "results".into(),
+            jobs: default_jobs(),
         }
     }
 }
@@ -53,6 +59,11 @@ impl Harness {
             scale: Scale::Tiny,
             ..Self::default()
         }
+    }
+
+    /// A [`RunEngine`] sized to this harness's worker count.
+    pub fn engine(&self) -> RunEngine {
+        RunEngine::new(self.jobs)
     }
 }
 

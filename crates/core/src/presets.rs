@@ -1,5 +1,11 @@
 //! Convenience constructors pairing warp and CTA policies by name, used by
 //! the experiment harness, examples, and tests.
+//!
+//! Both policy enums round-trip through strings (`Display` ⇄ `FromStr`)
+//! in a compact `name[:knob]` syntax — `gto`, `baws:2`, `lcs:0.7`,
+//! `bcs:2`, `baseline:4` — so policies are selectable from CLIs and
+//! recoverable from CSVs. [`WarpPolicy::all_named`] and
+//! [`CtaPolicy::all_named`] enumerate canonical instances.
 
 use crate::bcs::Bcs;
 use crate::cke::{LeftoverCke, MixedCke};
@@ -9,6 +15,30 @@ use crate::lcs::Lcs;
 use crate::warp_sched::{BawsFactory, GtoFactory, LrrFactory, TwoLevelFactory};
 use gpgpu_sim::{CtaScheduler, WarpSchedulerFactory};
 use std::fmt;
+use std::str::FromStr;
+
+/// A policy string that did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyParseError {
+    what: &'static str,
+    input: String,
+}
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {} policy {:?}", self.what, self.input)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+/// Splits `name[:knob]` into the name and optional knob text.
+fn split_knob(s: &str) -> (&str, Option<&str>) {
+    match s.split_once(':') {
+        Some((name, knob)) => (name, Some(knob)),
+        None => (s, None),
+    }
+}
 
 /// Warp-scheduler choices.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,6 +63,17 @@ impl WarpPolicy {
             WarpPolicy::Baws(b) => Box::new(BawsFactory { block_size: b }),
         }
     }
+
+    /// Canonical named instances (paper-default knob values), in
+    /// comparison order. Every entry's name parses back to its policy.
+    pub fn all_named() -> Vec<(&'static str, WarpPolicy)> {
+        vec![
+            ("lrr", WarpPolicy::Lrr),
+            ("gto", WarpPolicy::Gto),
+            ("two-level:8", WarpPolicy::TwoLevel(8)),
+            ("baws:2", WarpPolicy::Baws(2)),
+        ]
+    }
 }
 
 impl fmt::Display for WarpPolicy {
@@ -40,8 +81,32 @@ impl fmt::Display for WarpPolicy {
         match self {
             WarpPolicy::Lrr => write!(f, "lrr"),
             WarpPolicy::Gto => write!(f, "gto"),
-            WarpPolicy::TwoLevel(n) => write!(f, "two-level({n})"),
-            WarpPolicy::Baws(b) => write!(f, "baws({b})"),
+            WarpPolicy::TwoLevel(n) => write!(f, "two-level:{n}"),
+            WarpPolicy::Baws(b) => write!(f, "baws:{b}"),
+        }
+    }
+}
+
+impl FromStr for WarpPolicy {
+    type Err = PolicyParseError;
+
+    /// Parses the `Display` syntax: `lrr`, `gto`, `two-level:N`, `baws:B`
+    /// (`two-level` and `baws` default their knob to the paper values 8
+    /// and 2 when omitted).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || PolicyParseError {
+            what: "warp",
+            input: s.to_string(),
+        };
+        let (name, knob) = split_knob(s);
+        match (name, knob) {
+            ("lrr", None) => Ok(WarpPolicy::Lrr),
+            ("gto", None) => Ok(WarpPolicy::Gto),
+            ("two-level", None) => Ok(WarpPolicy::TwoLevel(8)),
+            ("two-level", Some(n)) => n.parse().map(WarpPolicy::TwoLevel).map_err(|_| err()),
+            ("baws", None) => Ok(WarpPolicy::Baws(2)),
+            ("baws", Some(b)) => b.parse().map(WarpPolicy::Baws).map_err(|_| err()),
+            _ => Err(err()),
         }
     }
 }
@@ -76,18 +141,62 @@ impl CtaPolicy {
             CtaPolicy::Dyncta => Box::new(Dyncta::new()),
         }
     }
+
+    /// Canonical named instances (paper-default knob values), in
+    /// comparison order. Every entry's name parses back to its policy.
+    pub fn all_named() -> Vec<(&'static str, CtaPolicy)> {
+        vec![
+            ("baseline", CtaPolicy::Baseline(None)),
+            ("lcs:0.7", CtaPolicy::Lcs(0.7)),
+            ("bcs:2", CtaPolicy::Bcs(2)),
+            ("leftover-cke", CtaPolicy::LeftoverCke),
+            ("mixed-cke:0.7", CtaPolicy::MixedCke(0.7)),
+            ("dyncta", CtaPolicy::Dyncta),
+        ]
+    }
 }
 
 impl fmt::Display for CtaPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CtaPolicy::Baseline(None) => write!(f, "baseline"),
-            CtaPolicy::Baseline(Some(n)) => write!(f, "baseline(limit={n})"),
-            CtaPolicy::Lcs(g) => write!(f, "lcs(gamma={g})"),
-            CtaPolicy::Bcs(b) => write!(f, "bcs(block={b})"),
+            CtaPolicy::Baseline(Some(n)) => write!(f, "baseline:{n}"),
+            CtaPolicy::Lcs(g) => write!(f, "lcs:{g}"),
+            CtaPolicy::Bcs(b) => write!(f, "bcs:{b}"),
             CtaPolicy::LeftoverCke => write!(f, "leftover-cke"),
-            CtaPolicy::MixedCke(g) => write!(f, "mixed-cke(gamma={g})"),
+            CtaPolicy::MixedCke(g) => write!(f, "mixed-cke:{g}"),
             CtaPolicy::Dyncta => write!(f, "dyncta"),
+        }
+    }
+}
+
+impl FromStr for CtaPolicy {
+    type Err = PolicyParseError;
+
+    /// Parses the `Display` syntax: `baseline[:LIMIT]`, `lcs[:GAMMA]`,
+    /// `bcs[:BLOCK]`, `leftover-cke`, `mixed-cke[:GAMMA]`, `dyncta`
+    /// (knobs default to the paper values 0.7 / 2 when omitted).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || PolicyParseError {
+            what: "cta",
+            input: s.to_string(),
+        };
+        let (name, knob) = split_knob(s);
+        match (name, knob) {
+            ("baseline", None) => Ok(CtaPolicy::Baseline(None)),
+            ("baseline", Some(n)) => n
+                .parse()
+                .map(|n| CtaPolicy::Baseline(Some(n)))
+                .map_err(|_| err()),
+            ("lcs", None) => Ok(CtaPolicy::Lcs(0.7)),
+            ("lcs", Some(g)) => g.parse().map(CtaPolicy::Lcs).map_err(|_| err()),
+            ("bcs", None) => Ok(CtaPolicy::Bcs(2)),
+            ("bcs", Some(b)) => b.parse().map(CtaPolicy::Bcs).map_err(|_| err()),
+            ("leftover-cke", None) => Ok(CtaPolicy::LeftoverCke),
+            ("mixed-cke", None) => Ok(CtaPolicy::MixedCke(0.7)),
+            ("mixed-cke", Some(g)) => g.parse().map(CtaPolicy::MixedCke).map_err(|_| err()),
+            ("dyncta", None) => Ok(CtaPolicy::Dyncta),
+            _ => Err(err()),
         }
     }
 }
@@ -118,10 +227,42 @@ mod tests {
     #[test]
     fn display_strings() {
         assert_eq!(WarpPolicy::Gto.to_string(), "gto");
-        assert_eq!(CtaPolicy::Bcs(2).to_string(), "bcs(block=2)");
+        assert_eq!(CtaPolicy::Bcs(2).to_string(), "bcs:2");
+        assert_eq!(CtaPolicy::Baseline(Some(4)).to_string(), "baseline:4");
+        assert_eq!(WarpPolicy::TwoLevel(8).to_string(), "two-level:8");
+        assert_eq!(CtaPolicy::MixedCke(0.7).to_string(), "mixed-cke:0.7");
+    }
+
+    #[test]
+    fn warp_policy_round_trips() {
+        for (name, policy) in WarpPolicy::all_named() {
+            assert_eq!(name.parse::<WarpPolicy>().unwrap(), policy);
+            assert_eq!(policy.to_string(), name);
+        }
+        // Knob defaults when omitted.
+        assert_eq!("two-level".parse::<WarpPolicy>().unwrap(), WarpPolicy::TwoLevel(8));
+        assert_eq!("baws".parse::<WarpPolicy>().unwrap(), WarpPolicy::Baws(2));
+        // Explicit knobs.
+        assert_eq!("baws:4".parse::<WarpPolicy>().unwrap(), WarpPolicy::Baws(4));
+        assert!("gtto".parse::<WarpPolicy>().is_err());
+        assert!("baws:x".parse::<WarpPolicy>().is_err());
+    }
+
+    #[test]
+    fn cta_policy_round_trips() {
+        for (name, policy) in CtaPolicy::all_named() {
+            assert_eq!(name.parse::<CtaPolicy>().unwrap(), policy);
+            assert_eq!(policy.to_string(), name);
+        }
+        assert_eq!("lcs".parse::<CtaPolicy>().unwrap(), CtaPolicy::Lcs(0.7));
+        assert_eq!("bcs".parse::<CtaPolicy>().unwrap(), CtaPolicy::Bcs(2));
+        assert_eq!("mixed-cke".parse::<CtaPolicy>().unwrap(), CtaPolicy::MixedCke(0.7));
         assert_eq!(
-            CtaPolicy::Baseline(Some(4)).to_string(),
-            "baseline(limit=4)"
+            "baseline:4".parse::<CtaPolicy>().unwrap(),
+            CtaPolicy::Baseline(Some(4))
         );
+        assert_eq!("lcs:0.9".parse::<CtaPolicy>().unwrap(), CtaPolicy::Lcs(0.9));
+        let e = "warp-speed".parse::<CtaPolicy>().unwrap_err();
+        assert_eq!(e.to_string(), "unknown cta policy \"warp-speed\"");
     }
 }

@@ -1,44 +1,77 @@
-//! Property-based tests for the scheduling policies: estimator bounds,
+//! Property-style tests for the scheduling policies: estimator bounds,
 //! scheduler-pick legality over arbitrary candidate sets, and dispatch
 //! legality over arbitrary machine states.
+//!
+//! Cases are drawn from a seeded in-file SplitMix64 generator instead of
+//! an external property-testing framework, so the crate builds with no
+//! third-party dependencies and every run checks the same cases.
 
 use gpgpu_sim::{
     CoreDispatchInfo, CtaScheduler, DispatchView, IssueView, KernelId, KernelSummary, WarpMeta,
     WarpScheduler,
 };
-use proptest::prelude::*;
-use tbs_core::{estimate_cta_limit, Baws, Bcs, Gto, Lcs, LeftoverCke, Lrr, RoundRobinCta, TwoLevel};
+use tbs_core::{
+    estimate_cta_limit, Baws, Bcs, Gto, Lcs, LeftoverCke, Lrr, RoundRobinCta, TwoLevel,
+};
 
-proptest! {
-    /// The LCS estimate is always within [1, samples.len()] and monotone
-    /// non-increasing in gamma.
-    #[test]
-    fn estimator_bounds_and_monotonicity(
-        samples in prop::collection::vec(0u64..1_000_000, 0..16),
-        g1 in 0.01f64..1.0,
-        g2 in 0.01f64..1.0,
-    ) {
+/// Deterministic SplitMix64 case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// A gamma in (0, 1).
+    fn gamma(&mut self) -> f64 {
+        (self.range(1, 100) as f64) / 100.0
+    }
+}
+
+/// The LCS estimate is always within [1, samples.len()] and monotone
+/// non-increasing in gamma.
+#[test]
+fn estimator_bounds_and_monotonicity() {
+    let mut g = Gen(0xE57);
+    for i in 0..512 {
+        let len = if i == 0 { 0 } else { g.range(0, 16) };
+        let samples: Vec<u64> = (0..len).map(|_| g.range(0, 1_000_000)).collect();
+        let (g1, g2) = (g.gamma(), g.gamma());
         let n = estimate_cta_limit(&samples, g1);
-        prop_assert!(n >= 1);
-        prop_assert!(n as usize <= samples.len().max(1));
+        assert!(n >= 1);
+        assert!(n as usize <= samples.len().max(1));
         let (lo, hi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
-        prop_assert!(
+        assert!(
             estimate_cta_limit(&samples, lo) >= estimate_cta_limit(&samples, hi),
             "estimate must not grow with gamma"
         );
     }
+}
 
-    /// Every warp scheduler returns either None or a member of the
-    /// candidate list, for arbitrary candidate sets and warp metadata.
-    #[test]
-    fn warp_schedulers_pick_legally(
-        slots in prop::collection::vec(0usize..48, 0..20),
-        ages in prop::collection::vec(0u64..1000, 48),
-        rounds in 1usize..5,
-    ) {
-        let mut candidates: Vec<usize> = slots;
+/// Every warp scheduler returns either None or a member of the
+/// candidate list, for arbitrary candidate sets and warp metadata.
+#[test]
+fn warp_schedulers_pick_legally() {
+    let mut g = Gen(0x9A);
+    for i in 0..128 {
+        let mut candidates: Vec<usize> = (0..g.range(0, 20))
+            .map(|_| g.range(0, 48) as usize)
+            .collect();
+        if i == 0 {
+            candidates.clear();
+        }
         candidates.sort_unstable();
         candidates.dedup();
+        let ages: Vec<u64> = (0..48).map(|_| g.range(0, 1000)).collect();
+        let rounds = g.range(1, 5);
         let warps: Vec<Option<WarpMeta>> = (0..48)
             .map(|i| {
                 Some(WarpMeta {
@@ -67,23 +100,31 @@ proptest! {
             }
             for _ in 0..rounds {
                 match p.pick(&view, &candidates) {
-                    None => prop_assert!(candidates.is_empty() || p.name() == "two-level"),
+                    None => assert!(candidates.is_empty() || p.name() == "two-level"),
                     Some(s) => {
-                        prop_assert!(candidates.contains(&s), "{} picked non-candidate {s}", p.name());
+                        assert!(
+                            candidates.contains(&s),
+                            "{} picked non-candidate {s}",
+                            p.name()
+                        );
                         p.on_issue(s);
                     }
                 }
             }
         }
     }
+}
 
-    /// CTA schedulers only dispatch kernels that exist, to cores that
-    /// exist, with positive counts, for arbitrary capacity states.
-    #[test]
-    fn cta_schedulers_dispatch_legally(
-        caps in prop::collection::vec((0u32..9, 0u32..9), 1..8),
-        remaining in 0u64..100,
-    ) {
+/// CTA schedulers only dispatch kernels that exist, to cores that
+/// exist, with positive counts, for arbitrary capacity states.
+#[test]
+fn cta_schedulers_dispatch_legally() {
+    let mut g = Gen(0xD15);
+    for i in 0..256 {
+        let caps: Vec<(u32, u32)> = (0..g.range(1, 8))
+            .map(|_| (g.range(0, 9) as u32, g.range(0, 9) as u32))
+            .collect();
+        let remaining = if i == 0 { 0 } else { g.range(0, 100) };
         let kernels = vec![KernelSummary {
             id: KernelId(0),
             next_cta: 0,
@@ -110,14 +151,20 @@ proptest! {
         ];
         for p in &mut policies {
             if let Some(d) = p.select(&view) {
-                prop_assert!(d.core < cores.len(), "{}: core in range", p.name());
-                prop_assert_eq!(d.kernel, KernelId(0));
-                prop_assert!(d.count >= 1, "{}: positive count", p.name());
-                prop_assert!(remaining > 0, "{}: no dispatch from empty kernel", p.name());
+                assert!(d.core < cores.len(), "{}: core in range", p.name());
+                assert_eq!(d.kernel, KernelId(0));
+                assert!(d.count >= 1, "{}: positive count", p.name());
+                assert!(remaining > 0, "{}: no dispatch from empty kernel", p.name());
                 // Capacity respected for single-CTA policies; BCS may ask
                 // for a whole block but never more than capacity.
                 let cap = cores[d.core].capacity_for(KernelId(0));
-                prop_assert!(d.count <= cap.max(1), "{}: count {} vs cap {}", p.name(), d.count, cap);
+                assert!(
+                    d.count <= cap.max(1),
+                    "{}: count {} vs cap {}",
+                    p.name(),
+                    d.count,
+                    cap
+                );
             }
         }
     }

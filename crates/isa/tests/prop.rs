@@ -1,83 +1,152 @@
-//! Property-based tests for the ISA: functional semantics laws and
+//! Property-style tests for the ISA: functional semantics laws and
 //! builder well-formedness over randomly generated structured programs.
+//!
+//! Cases are drawn from a seeded in-file SplitMix64 generator instead of
+//! an external property-testing framework, so the crate builds with no
+//! third-party dependencies and every run checks the same cases.
 
-use gpgpu_isa::{
-    sem, AluOp, CmpOp, CmpTy, Dim2, KernelBuilder, PBoolOp, Pc,
-};
-use proptest::prelude::*;
+use gpgpu_isa::{sem, AluOp, CmpOp, CmpTy, Dim2, KernelBuilder, PBoolOp, Pc};
 
-proptest! {
-    #[test]
-    fn iadd_commutes(a: u64, b: u64) {
-        prop_assert_eq!(
+/// Deterministic SplitMix64 case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn f32(&mut self) -> f32 {
+        // A mix of ordinary magnitudes, extremes, and specials.
+        match self.next_u64() % 8 {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            2 => 0.0,
+            _ => f32::from_bits(self.next_u64() as u32),
+        }
+    }
+}
+
+const CASES: usize = 512;
+
+#[test]
+fn iadd_commutes() {
+    let mut g = Gen(1);
+    for _ in 0..CASES {
+        let (a, b) = (g.next_u64(), g.next_u64());
+        assert_eq!(
             sem::eval_alu(AluOp::IAdd, a, b, 0),
             sem::eval_alu(AluOp::IAdd, b, a, 0)
         );
     }
+}
 
-    #[test]
-    fn imad_is_mul_then_add(a: u64, b: u64, c: u64) {
+#[test]
+fn imad_is_mul_then_add() {
+    let mut g = Gen(2);
+    for _ in 0..CASES {
+        let (a, b, c) = (g.next_u64(), g.next_u64(), g.next_u64());
         let mul = sem::eval_alu(AluOp::IMul, a, b, 0);
         let add = sem::eval_alu(AluOp::IAdd, mul, c, 0);
-        prop_assert_eq!(sem::eval_alu(AluOp::IMad, a, b, c), add);
+        assert_eq!(sem::eval_alu(AluOp::IMad, a, b, c), add);
     }
+}
 
-    #[test]
-    fn sub_is_inverse_of_add(a: u64, b: u64) {
+#[test]
+fn sub_is_inverse_of_add() {
+    let mut g = Gen(3);
+    for _ in 0..CASES {
+        let (a, b) = (g.next_u64(), g.next_u64());
         let s = sem::eval_alu(AluOp::IAdd, a, b, 0);
-        prop_assert_eq!(sem::eval_alu(AluOp::ISub, s, b, 0), a);
+        assert_eq!(sem::eval_alu(AluOp::ISub, s, b, 0), a);
     }
+}
 
-    #[test]
-    fn shl_then_shr_recovers_low_bits(a: u64, k in 0u64..32) {
+#[test]
+fn shl_then_shr_recovers_low_bits() {
+    let mut g = Gen(4);
+    for _ in 0..CASES {
+        let a = g.next_u64();
+        let k = g.range(0, 32);
         let x = a & 0xFFFF_FFFF;
         let shifted = sem::eval_alu(AluOp::Shl, x, k, 0);
         let back = sem::eval_alu(AluOp::ShrL, shifted, k, 0);
         // Holds whenever no bits were shifted out.
         if x.leading_zeros() as u64 >= k {
-            prop_assert_eq!(back, x);
+            assert_eq!(back, x);
         }
     }
+}
 
-    #[test]
-    fn cmp_trichotomy_unsigned(a: u64, b: u64) {
+#[test]
+fn cmp_trichotomy_unsigned() {
+    let mut g = Gen(5);
+    for i in 0..CASES {
+        let (a, mut b) = (g.next_u64(), g.next_u64());
+        if i % 4 == 0 {
+            b = a; // make sure equality is exercised
+        }
         let lt = sem::eval_cmp(CmpOp::Lt, CmpTy::U64, a, b);
         let eq = sem::eval_cmp(CmpOp::Eq, CmpTy::U64, a, b);
         let gt = sem::eval_cmp(CmpOp::Gt, CmpTy::U64, a, b);
-        prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
-        prop_assert_eq!(sem::eval_cmp(CmpOp::Le, CmpTy::U64, a, b), lt || eq);
-        prop_assert_eq!(sem::eval_cmp(CmpOp::Ge, CmpTy::U64, a, b), gt || eq);
-        prop_assert_eq!(sem::eval_cmp(CmpOp::Ne, CmpTy::U64, a, b), !eq);
+        assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+        assert_eq!(sem::eval_cmp(CmpOp::Le, CmpTy::U64, a, b), lt || eq);
+        assert_eq!(sem::eval_cmp(CmpOp::Ge, CmpTy::U64, a, b), gt || eq);
+        assert_eq!(sem::eval_cmp(CmpOp::Ne, CmpTy::U64, a, b), !eq);
     }
+}
 
-    #[test]
-    fn cmp_signed_consistent_with_i64(a: i64, b: i64) {
-        prop_assert_eq!(
+#[test]
+fn cmp_signed_consistent_with_i64() {
+    let mut g = Gen(6);
+    for _ in 0..CASES {
+        let (a, b) = (g.next_u64() as i64, g.next_u64() as i64);
+        assert_eq!(
             sem::eval_cmp(CmpOp::Lt, CmpTy::I64, a as u64, b as u64),
             a < b
         );
     }
+}
 
-    #[test]
-    fn pbool_against_reference(a: bool, b: bool) {
-        prop_assert_eq!(sem::eval_pbool(PBoolOp::And, a, b), a && b);
-        prop_assert_eq!(sem::eval_pbool(PBoolOp::Or, a, b), a || b);
-        prop_assert_eq!(sem::eval_pbool(PBoolOp::Xor, a, b), a ^ b);
-        prop_assert_eq!(sem::eval_pbool(PBoolOp::AndNot, a, b), a && !b);
+#[test]
+fn pbool_against_reference() {
+    for a in [false, true] {
+        for b in [false, true] {
+            assert_eq!(sem::eval_pbool(PBoolOp::And, a, b), a && b);
+            assert_eq!(sem::eval_pbool(PBoolOp::Or, a, b), a || b);
+            assert_eq!(sem::eval_pbool(PBoolOp::Xor, a, b), a ^ b);
+            assert_eq!(sem::eval_pbool(PBoolOp::AndNot, a, b), a && !b);
+        }
     }
+}
 
-    #[test]
-    fn division_never_panics(a: u64, b: u64) {
+#[test]
+fn division_never_panics() {
+    let mut g = Gen(7);
+    for i in 0..CASES {
+        let a = g.next_u64();
+        let b = if i % 3 == 0 { 0 } else { g.next_u64() };
         let _ = sem::eval_alu(AluOp::UDiv, a, b, 0);
         let _ = sem::eval_alu(AluOp::URem, a, b, 0);
     }
+}
 
-    #[test]
-    fn f32_ops_are_bit_stable(a: f32, b: f32) {
+#[test]
+fn f32_ops_are_bit_stable() {
+    let mut g = Gen(8);
+    for _ in 0..CASES {
+        let (a, b) = (g.f32(), g.f32());
         // Two evaluations give identical bits (determinism).
         let x = sem::eval_alu(AluOp::FAdd, sem::from_f32(a), sem::from_f32(b), 0);
         let y = sem::eval_alu(AluOp::FAdd, sem::from_f32(a), sem::from_f32(b), 0);
-        prop_assert_eq!(x, y);
+        assert_eq!(x, y);
     }
 }
 
@@ -90,20 +159,22 @@ enum Shape {
     Loop(u8, u8),
 }
 
-fn shape_strategy() -> impl Strategy<Value = Shape> {
-    prop_oneof![
-        (1u8..5).prop_map(Shape::Straight),
-        (1u8..4).prop_map(Shape::IfThen),
-        (1u8..3, 1u8..3).prop_map(|(a, b)| Shape::IfThenElse(a, b)),
-        (1u8..4, 1u8..3).prop_map(|(n, b)| Shape::Loop(n, b)),
-    ]
+fn random_shape(g: &mut Gen) -> Shape {
+    match g.next_u64() % 4 {
+        0 => Shape::Straight(g.range(1, 5) as u8),
+        1 => Shape::IfThen(g.range(1, 4) as u8),
+        2 => Shape::IfThenElse(g.range(1, 3) as u8, g.range(1, 3) as u8),
+        _ => Shape::Loop(g.range(1, 4) as u8, g.range(1, 3) as u8),
+    }
 }
 
-proptest! {
-    /// Any sequence of structured control-flow shapes builds a valid
-    /// program whose branch targets/reconvergence PCs are in range.
-    #[test]
-    fn structured_programs_always_validate(shapes in prop::collection::vec(shape_strategy(), 1..6)) {
+/// Any sequence of structured control-flow shapes builds a valid
+/// program whose branch targets/reconvergence PCs are in range.
+#[test]
+fn structured_programs_always_validate() {
+    let mut g = Gen(9);
+    for _ in 0..128 {
+        let shapes: Vec<Shape> = (0..g.range(1, 6)).map(|_| random_shape(&mut g)).collect();
         let mut k = KernelBuilder::new("prop", Dim2::x(32));
         let x = k.movi(1u64);
         for s in &shapes {
@@ -153,21 +224,27 @@ proptest! {
         let len = prog.len() as Pc;
         for ins in prog.instructions() {
             match ins.op {
-                gpgpu_isa::Instr::Bra { target } => prop_assert!(target < len),
+                gpgpu_isa::Instr::Bra { target } => assert!(target < len),
                 gpgpu_isa::Instr::BraCond { target, reconv, .. } => {
-                    prop_assert!(target < len);
-                    prop_assert!(reconv < len);
+                    assert!(target < len);
+                    assert!(reconv < len);
                 }
                 _ => {}
             }
         }
         // Stats add up.
         let stats = prog.stats();
-        prop_assert_eq!(
+        assert_eq!(
             stats.total,
-            stats.int_alu + stats.fp_alu + stats.sfu + stats.global_loads
-                + stats.global_stores + stats.shared_mem + stats.control
-                + stats.barriers + stats.exits
+            stats.int_alu
+                + stats.fp_alu
+                + stats.sfu
+                + stats.global_loads
+                + stats.global_stores
+                + stats.shared_mem
+                + stats.control
+                + stats.barriers
+                + stats.exits
         );
     }
 }

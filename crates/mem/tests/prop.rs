@@ -1,13 +1,38 @@
-//! Property-based tests for the memory substrate: the cache against a
+//! Property-style tests for the memory substrate: the cache against a
 //! reference LRU model, DRAM conservation laws, and crossbar delivery.
+//!
+//! Cases are drawn from a seeded in-file SplitMix64 generator instead of
+//! an external property-testing framework, so the crate builds with no
+//! third-party dependencies and every run checks the same cases.
 
 use gpgpu_mem::cache::DownstreamKind;
 use gpgpu_mem::dram::DramRequest;
 use gpgpu_mem::{
     Access, AccessKind, Cache, CacheConfig, Crossbar, DramChannel, DramConfig, ReqId, XbarConfig,
 };
-use proptest::prelude::*;
 use std::collections::VecDeque;
+
+/// Deterministic SplitMix64 case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn vec(&mut self, lo: u64, hi: u64, min_len: u64, max_len: u64) -> Vec<u64> {
+        let n = self.range(min_len, max_len);
+        (0..n).map(|_| self.range(lo, hi)).collect()
+    }
+}
 
 /// A trivially correct reference for hit/miss classification of a
 /// fully-drained (always-filled-immediately) LRU cache.
@@ -45,11 +70,13 @@ impl RefLru {
     }
 }
 
-proptest! {
-    /// When every miss is filled before the next access (no overlap), the
-    /// cache must classify hits/misses exactly like a reference LRU.
-    #[test]
-    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..4096, 1..200)) {
+/// When every miss is filled before the next access (no overlap), the
+/// cache must classify hits/misses exactly like a reference LRU.
+#[test]
+fn cache_matches_reference_lru() {
+    let mut g = Gen(0xCACE);
+    for _ in 0..64 {
+        let addrs = g.vec(0, 4096, 1, 200);
         let cfg = CacheConfig {
             size_bytes: 1024,
             line_bytes: 64,
@@ -66,23 +93,27 @@ proptest! {
             let expect_hit = reference.access(addr);
             let got = cache.access(addr, AccessKind::Load, Some(ReqId(i as u64)), i as u64);
             match got {
-                Access::Hit => prop_assert!(expect_hit, "spurious hit at {addr:#x}"),
+                Access::Hit => assert!(expect_hit, "spurious hit at {addr:#x}"),
                 Access::Miss => {
-                    prop_assert!(!expect_hit, "spurious miss at {addr:#x}");
+                    assert!(!expect_hit, "spurious miss at {addr:#x}");
                     // Fill immediately to keep the reference in sync.
                     let d = cache.pop_downstream().expect("fetch queued");
-                    prop_assert_eq!(d.kind, DownstreamKind::Fetch);
+                    assert_eq!(d.kind, DownstreamKind::Fetch);
                     cache.fill(addr, i as u64);
                 }
-                other => prop_assert!(false, "unexpected outcome {other:?}"),
+                other => panic!("unexpected outcome {other:?}"),
             }
         }
     }
+}
 
-    /// MSHR occupancy never exceeds capacity, and every waiter is returned
-    /// by exactly one fill.
-    #[test]
-    fn cache_mshr_conservation(addrs in prop::collection::vec(0u64..2048, 1..100)) {
+/// MSHR occupancy never exceeds capacity, and every waiter is returned
+/// by exactly one fill.
+#[test]
+fn cache_mshr_conservation() {
+    let mut g = Gen(0x5185);
+    for _ in 0..64 {
+        let addrs = g.vec(0, 2048, 1, 100);
         let cfg = CacheConfig {
             size_bytes: 512,
             line_bytes: 64,
@@ -110,7 +141,7 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(cache.mshrs_in_use() <= 4);
+            assert!(cache.mshrs_in_use() <= 4);
         }
         // Drain everything.
         while let Some(d) = cache.pop_downstream() {
@@ -119,20 +150,24 @@ proptest! {
                 completed.extend(out.ready);
             }
         }
-        prop_assert!(cache.quiesced());
+        assert!(cache.quiesced());
         let mut waited: Vec<u64> = accepted.iter().map(|r| r.0).collect();
         let mut done: Vec<u64> = completed.iter().map(|r| r.0).collect();
         waited.sort_unstable();
         done.sort_unstable();
         // Every accepted (non-hit) id appears exactly once among fills.
         for id in waited {
-            prop_assert!(done.binary_search(&id).is_ok(), "request {id} lost");
+            assert!(done.binary_search(&id).is_ok(), "request {id} lost");
         }
     }
+}
 
-    /// DRAM conserves requests and respects the minimum access latency.
-    #[test]
-    fn dram_conserves_requests(addrs in prop::collection::vec(0u64..65536, 1..64)) {
+/// DRAM conserves requests and respects the minimum access latency.
+#[test]
+fn dram_conserves_requests() {
+    let mut g = Gen(0xD7A);
+    for _ in 0..32 {
+        let addrs = g.vec(0, 65536, 1, 64);
         let mut chan = DramChannel::new(DramConfig::gddr5_default());
         let min_latency = u64::from(DramConfig::gddr5_default().t_cas);
         let mut submitted = 0u64;
@@ -145,7 +180,14 @@ proptest! {
         let mut submit_times = std::collections::HashMap::new();
         for now in 0..100_000u64 {
             if let Some(&(token, addr)) = queue.front() {
-                if chan.submit(DramRequest { local_addr: addr, is_read: true, token }, now) {
+                if chan.submit(
+                    DramRequest {
+                        local_addr: addr,
+                        is_read: true,
+                        token,
+                    },
+                    now,
+                ) {
                     submit_times.insert(token, now);
                     submitted += 1;
                     queue.pop_front();
@@ -154,22 +196,33 @@ proptest! {
             for c in chan.tick(now) {
                 completed += 1;
                 let t0 = submit_times[&c.token];
-                prop_assert!(now >= t0 + min_latency, "completion faster than tCAS");
+                assert!(now >= t0 + min_latency, "completion faster than tCAS");
             }
             if queue.is_empty() && chan.quiesced() {
                 break;
             }
         }
-        prop_assert_eq!(submitted, completed);
-        prop_assert_eq!(submitted, addrs.len() as u64);
+        assert_eq!(submitted, completed);
+        assert_eq!(submitted, addrs.len() as u64);
     }
+}
 
-    /// The crossbar delivers every accepted packet exactly once, to the
-    /// right port.
-    #[test]
-    fn crossbar_delivers_everything(
-        pkts in prop::collection::vec((0usize..4, 0usize..3, 0u32..256), 1..50)
-    ) {
+/// The crossbar delivers every accepted packet exactly once, to the
+/// right port.
+#[test]
+fn crossbar_delivers_everything() {
+    let mut g = Gen(0xBA2);
+    for _ in 0..32 {
+        let n = g.range(1, 50);
+        let pkts: Vec<(usize, usize, u32)> = (0..n)
+            .map(|_| {
+                (
+                    g.range(0, 4) as usize,
+                    g.range(0, 3) as usize,
+                    g.range(0, 256) as u32,
+                )
+            })
+            .collect();
         let mut x: Crossbar<(usize, usize)> = Crossbar::new(XbarConfig {
             in_ports: 4,
             out_ports: 3,
@@ -190,7 +243,7 @@ proptest! {
             x.tick(now);
             for d in 0..3 {
                 while let Some((_, pdst)) = x.pop_delivered(d) {
-                    prop_assert_eq!(pdst, d, "misrouted packet");
+                    assert_eq!(pdst, d, "misrouted packet");
                     got[d] += 1;
                 }
             }
@@ -198,7 +251,7 @@ proptest! {
                 break;
             }
         }
-        prop_assert_eq!(sent, pkts.len());
-        prop_assert_eq!(got.iter().sum::<usize>(), sent);
+        assert_eq!(sent, pkts.len());
+        assert_eq!(got.iter().sum::<usize>(), sent);
     }
 }

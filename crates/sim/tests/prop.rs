@@ -1,16 +1,50 @@
-//! Property-based tests for simulator data structures: the SIMT stack
+//! Property-style tests for simulator data structures: the SIMT stack
 //! under random structured divergence and the coalescer's covering
 //! property.
+//!
+//! Cases are drawn from a seeded in-file SplitMix64 generator instead of
+//! an external property-testing framework, so the crate builds with no
+//! third-party dependencies and every run checks the same cases.
 
 use gpgpu_sim::coalesce::{coalesce, shared_conflict_passes};
 use gpgpu_sim::{SimtStack, FULL_MASK};
-use proptest::prelude::*;
 
-proptest! {
-    /// An if/else over a random lane partition always reconverges with the
-    /// original mask, regardless of which side exits lanes.
-    #[test]
-    fn if_else_reconverges(taken_mask: u32, exits: u32) {
+/// Deterministic SplitMix64 case generator.
+struct Gen(u64);
+
+impl Gen {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// An if/else over a random lane partition always reconverges with the
+/// original mask, regardless of which side exits lanes.
+#[test]
+fn if_else_reconverges() {
+    let mut g = Gen(0x51);
+    for i in 0..512 {
+        let taken_mask = match i {
+            0 => 0,
+            1 => FULL_MASK,
+            _ => g.next_u32(),
+        };
+        let exits = match i {
+            2 => FULL_MASK,
+            _ => g.next_u32(),
+        };
         let taken = taken_mask; // lanes taking the branch
         let fall = !taken_mask;
         let mut s = SimtStack::new(FULL_MASK);
@@ -19,29 +53,33 @@ proptest! {
         // Run the taken side (if any non-exited lanes remain).
         if let Some((pc, m)) = s.sync(exited) {
             if pc == 10 {
-                prop_assert_eq!(m, taken & !exited);
+                assert_eq!(m, taken & !exited);
                 s.jump(20);
             }
         }
         // Run the fall side.
         if let Some((pc, m)) = s.sync(exited) {
             if pc == 1 {
-                prop_assert_eq!(m, fall & !exited);
+                assert_eq!(m, fall & !exited);
                 s.jump(20);
             }
         }
         // Reconverged: everything alive is back together at 20.
         match s.sync(exited) {
-            Some((20, m)) => prop_assert_eq!(m, FULL_MASK & !exited),
-            None => prop_assert_eq!(exited, FULL_MASK),
-            other => prop_assert!(false, "unexpected state {other:?}"),
+            Some((20, m)) => assert_eq!(m, FULL_MASK & !exited),
+            None => assert_eq!(exited, FULL_MASK),
+            other => panic!("unexpected state {other:?}"),
         }
     }
+}
 
-    /// Nested divergence never leaves the stack deeper than 2 entries per
-    /// nesting level + 1.
-    #[test]
-    fn nesting_depth_bounded(masks in prop::collection::vec(any::<u32>(), 1..6)) {
+/// Nested divergence never leaves the stack deeper than 2 entries per
+/// nesting level + 1.
+#[test]
+fn nesting_depth_bounded() {
+    let mut g = Gen(0xDEB7);
+    for _ in 0..256 {
+        let masks: Vec<u32> = (0..g.range(1, 6)).map(|_| g.next_u32()).collect();
         let mut s = SimtStack::new(FULL_MASK);
         let mut live = FULL_MASK;
         let mut depth_levels = 0;
@@ -54,32 +92,43 @@ proptest! {
             let base = (i as u32 + 1) * 100;
             s.branch(taken, fall, base, base + 50);
             depth_levels += 1;
-            prop_assert!(s.depth() <= 2 * depth_levels + 1,
-                "depth {} after {} levels", s.depth(), depth_levels);
+            assert!(
+                s.depth() <= 2 * depth_levels + 1,
+                "depth {} after {} levels",
+                s.depth(),
+                depth_levels
+            );
             // Descend into the taken side.
             let (_, m2) = s.sync(0).expect("live");
             live = m2;
         }
     }
+}
 
-    /// Coalescing covers every active lane's access and produces sorted,
-    /// unique, line-aligned addresses.
-    #[test]
-    fn coalesce_covers_and_is_canonical(
-        raw in prop::collection::vec(0u64..100_000, 32),
-        mask: u32,
-        wide: bool,
-    ) {
+/// Coalescing covers every active lane's access and produces sorted,
+/// unique, line-aligned addresses.
+#[test]
+fn coalesce_covers_and_is_canonical() {
+    let mut g = Gen(0xC0A);
+    for i in 0..256 {
         let mut addrs = [0u64; 32];
-        addrs.copy_from_slice(&raw);
+        for a in &mut addrs {
+            *a = g.range(0, 100_000);
+        }
+        let mask = match i {
+            0 => 0,
+            1 => FULL_MASK,
+            _ => g.next_u32(),
+        };
+        let wide = i % 2 == 0;
         let width = if wide { 8 } else { 4 };
         let lines = coalesce(&addrs, mask, width, 128);
         // Canonical form.
         for w in lines.windows(2) {
-            prop_assert!(w[0] < w[1], "sorted and unique");
+            assert!(w[0] < w[1], "sorted and unique");
         }
         for &l in &lines {
-            prop_assert_eq!(l % 128, 0, "line aligned");
+            assert_eq!(l % 128, 0, "line aligned");
         }
         // Covering: every active byte belongs to some returned line.
         for lane in 0..32 {
@@ -88,38 +137,45 @@ proptest! {
             }
             for b in [addrs[lane], addrs[lane] + width - 1] {
                 let line = b & !127;
-                prop_assert!(lines.contains(&line), "byte {b:#x} uncovered");
+                assert!(lines.contains(&line), "byte {b:#x} uncovered");
             }
         }
         // Upper bound: at most 2 lines per active lane.
         let active = mask.count_ones() as usize;
-        prop_assert!(lines.len() <= 2 * active.max(0));
+        assert!(lines.len() <= 2 * active);
         if active == 0 {
-            prop_assert!(lines.is_empty());
+            assert!(lines.is_empty());
         }
     }
+}
 
-    /// Bank-conflict passes are between 1 and the active-lane count (when
-    /// any lane is active), and a uniform broadcast is always 1 pass.
-    #[test]
-    fn shared_conflicts_bounded(
-        raw in prop::collection::vec(0u64..4096, 32),
-        mask: u32,
-    ) {
+/// Bank-conflict passes are between 1 and the active-lane count (when
+/// any lane is active), and a uniform broadcast is always 1 pass.
+#[test]
+fn shared_conflicts_bounded() {
+    let mut g = Gen(0x5AED);
+    for i in 0..256 {
         let mut addrs = [0u64; 32];
-        addrs.copy_from_slice(&raw);
+        for a in &mut addrs {
+            *a = g.range(0, 4096);
+        }
+        let mask = match i {
+            0 => 0,
+            1 => FULL_MASK,
+            _ => g.next_u32(),
+        };
         let passes = shared_conflict_passes(&addrs, mask);
         let active = mask.count_ones();
         if active == 0 {
-            prop_assert_eq!(passes, 0);
+            assert_eq!(passes, 0);
         } else {
-            prop_assert!(passes >= 1);
-            prop_assert!(passes <= active);
+            assert!(passes >= 1);
+            assert!(passes <= active);
         }
         // Broadcast.
         let same = [400u64; 32];
         if active > 0 {
-            prop_assert_eq!(shared_conflict_passes(&same, mask), 1);
+            assert_eq!(shared_conflict_passes(&same, mask), 1);
         }
     }
 }

@@ -3,11 +3,11 @@
 //! poorly-coalesced loads that thrash L1 MSHRs — the paper's prime
 //! memory-/cache-bound throttling candidates.
 
-use crate::common::{first_mismatch_f32, first_mismatch_u32, VerifyError, Workload, WorkloadClass};
+use crate::common::{
+    first_mismatch_f32, first_mismatch_u32, SplitMix64, VerifyError, Workload, WorkloadClass,
+};
 use gpgpu_isa::{AluOp, CmpOp, CmpTy, Dim2, KernelBuilder, KernelDescriptor};
 use gpgpu_sim::GlobalMem;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::sync::Arc;
 
 const BLOCK: u32 = 256;
@@ -76,7 +76,7 @@ impl Workload for SpmvEll {
         let cols = gmem.alloc(nnz * 4);
         let x = gmem.alloc(u64::from(rows) * 4);
         let y = gmem.alloc(u64::from(rows) * 4);
-        let mut rng = StdRng::seed_from_u64(0x5e11);
+        let mut rng = SplitMix64::new(0x5e11);
         let vv: Vec<f32> = (0..nnz).map(|i| ((i % 19) as f32 + 1.0) * 0.125).collect();
         let band = u64::from(self.band);
         // Column-major: element i belongs to row (i % rows).
@@ -85,7 +85,7 @@ impl Workload for SpmvEll {
                 let row = i % u64::from(rows);
                 let lo = row.saturating_sub(band / 2);
                 let hi = (lo + band).min(u64::from(rows));
-                rng.gen_range(lo..hi) as u32
+                rng.range_u64(lo, hi) as u32
             })
             .collect();
         let xv: Vec<f32> = (0..rows).map(|i| ((i % 23) as f32) * 0.25).collect();
@@ -197,9 +197,11 @@ impl Workload for RandomGather {
         let data = gmem.alloc(u64::from(n) * 4);
         let idx = gmem.alloc(u64::from(n) * u64::from(d) * 4);
         let out = gmem.alloc(u64::from(n) * 4);
-        let mut rng = StdRng::seed_from_u64(0x6a74_4e52);
+        let mut rng = SplitMix64::new(0x6a74_4e52);
         let dv: Vec<u32> = (0..n).map(|i| i.wrapping_mul(2654435761)).collect();
-        let iv: Vec<u32> = (0..n * d).map(|_| rng.gen_range(0..n)).collect();
+        let iv: Vec<u32> = (0..n * d)
+            .map(|_| rng.range_u64(0, u64::from(n)) as u32)
+            .collect();
         gmem.write_u32_slice(data, &dv);
         gmem.write_u32_slice(idx, &iv);
         self.bufs = Some((data, idx, out));

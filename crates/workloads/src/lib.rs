@@ -23,7 +23,7 @@ pub mod stencil;
 pub mod streaming;
 
 pub use common::{
-    f32_close, first_mismatch_f32, first_mismatch_u32, Scale, VerifyError, Workload,
+    f32_close, first_mismatch_f32, first_mismatch_u32, Scale, SplitMix64, VerifyError, Workload,
     WorkloadClass,
 };
 pub use runner::{

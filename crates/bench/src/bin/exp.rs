@@ -6,6 +6,8 @@
 //! exp --quick --all             # Tiny scale (smoke test)
 //! exp --jobs 8 --all            # cap the worker-thread count
 //! exp --out-dir /tmp/csv e3     # write CSVs elsewhere
+//! exp --trace-dir traces e5     # also record time-resolved telemetry
+//! exp trace                     # telemetry smoke run (no tables)
 //! exp --list                    # show experiment ids
 //! ```
 //!
@@ -13,25 +15,46 @@
 //! one shared [`RunEngine`], so a baseline run shared by several
 //! experiments simulates exactly once. Tables are printed and written as
 //! CSV under `results/` (or `--out-dir`).
+//!
+//! With `--trace-dir`, experiments that define trace points (E2, E5, E8)
+//! additionally record an interval-sample series and a structured event
+//! trace for one representative run each, written as
+//! `<label>.intervals.csv` and `<label>.events.jsonl` under the given
+//! directory. Tracing rides on the shared runs — it never adds
+//! simulations.
 
-use gpgpu_bench::experiments::{all_ids, collect_experiment, plan_experiment};
-use gpgpu_bench::Harness;
+use gpgpu_bench::experiments::{all_ids, collect_experiment, plan_experiment, trace_points};
+use gpgpu_bench::{Harness, RunEngine, RunSpec};
+use gpgpu_sim::TelemetryConfig;
 use gpgpu_workloads::Scale;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: exp [options] (--all | e1 e2 ... e10)
-  --quick          Tiny workloads (alias for --scale tiny)
-  --scale SCALE    workload scale: tiny | small (default small)
-  --jobs N         worker threads for the run engine (default: all cores)
-  --out-dir PATH   directory CSVs are written to (default: results/)
-  --list           list experiment ids
-  --help           show this help";
+usage: exp [options] (--all | e1 e2 ... e10 | trace)
+  --quick           Tiny workloads (alias for --scale tiny)
+  --scale SCALE     workload scale: tiny | small (default small)
+  --jobs N          worker threads for the run engine (default: all cores)
+  --out-dir PATH    directory CSVs are written to (default: results/)
+  --trace-dir PATH  record telemetry for E2/E5/E8 trace points into PATH
+  --sample-every N  telemetry sampling interval in cycles (default 1000)
+  --json            also print the run summary as one JSON object
+  --list            list experiment ids
+  --help            show this help
+
+  trace             telemetry smoke run: trace one kernel, write the
+                    trace files (to --trace-dir, default results/traces),
+                    print no tables";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut h = Harness::default();
     let mut run_all = false;
+    let mut trace_cmd = false;
+    let mut trace_dir: Option<PathBuf> = None;
+    let mut sample_every: u64 = 1000;
+    let mut json = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -53,6 +76,22 @@ fn main() -> ExitCode {
                 };
                 h.out_dir = dir.into();
             }
+            "--trace-dir" => {
+                let Some(dir) = it.next() else {
+                    eprintln!("--trace-dir needs a path; try --help");
+                    return ExitCode::FAILURE;
+                };
+                trace_dir = Some(dir.into());
+            }
+            "--sample-every" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()).filter(|&n| n > 0)
+                else {
+                    eprintln!("--sample-every needs a positive cycle count; try --help");
+                    return ExitCode::FAILURE;
+                };
+                sample_every = n;
+            }
+            "--json" => json = true,
             "--scale" => {
                 match it.next().map(String::as_str) {
                     Some("tiny") => h.scale = Scale::Tiny,
@@ -73,12 +112,26 @@ fn main() -> ExitCode {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
+            "trace" => trace_cmd = true,
             id if id.starts_with('e') && all_ids().contains(&id) => ids.push(id.to_string()),
             other => {
                 eprintln!("unknown argument {other:?}; try --help");
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if trace_cmd && trace_dir.is_none() {
+        trace_dir = Some(h.out_dir.join("traces"));
+    }
+    // Fail on an unusable trace directory before simulating anything.
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = ensure_writable_dir(dir) {
+            eprintln!("cannot write to trace dir {}: {e}; try --help", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if trace_cmd {
+        return run_trace_smoke(&h, &trace_dir.expect("defaulted above"), sample_every, json);
     }
     if run_all {
         ids = all_ids().into_iter().map(String::from).collect();
@@ -92,13 +145,21 @@ fn main() -> ExitCode {
 
     // Plan every selected experiment up front so the engine can dedup
     // shared specs (e.g. the GTO baseline) across experiments, then
-    // execute the unique remainder on the worker pool.
+    // execute the unique remainder on the worker pool. Trace points are
+    // batched alongside, upgrading the shared runs with telemetry.
     let engine = h.engine();
     let mut specs = Vec::new();
     for id in &ids {
         specs.extend(plan_experiment(id, &h));
     }
-    let planned = specs.len();
+    let mut traces: Vec<(String, RunSpec)> = Vec::new();
+    if trace_dir.is_some() {
+        let cfg = TelemetryConfig::new(sample_every);
+        for id in &ids {
+            traces.extend(trace_points(id, &h, cfg));
+        }
+        specs.extend(traces.iter().map(|(_, s)| s.clone()));
+    }
     engine.execute_batch(&specs);
 
     for id in &ids {
@@ -117,13 +178,76 @@ fn main() -> ExitCode {
         }
         println!("[{id} collected in {:.1?}]\n", t0.elapsed());
     }
-    println!(
-        "[{} specs planned, {} simulated, {} deduplicated; {} worker threads]",
-        planned,
-        engine.runs_executed(),
-        engine.runs_deduped(),
-        engine.jobs()
-    );
+    if let Some(dir) = &trace_dir {
+        if let Err(e) = write_traces(dir, &traces, &engine) {
+            eprintln!("error writing traces: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let summary = engine.summary();
+    println!("{summary}");
+    if json {
+        println!("{}", summary.to_json());
+    }
     println!("[all experiments took {:.1?}]", total.elapsed());
+    ExitCode::SUCCESS
+}
+
+/// Creates `dir` if needed and verifies files can actually be created in
+/// it (catches read-only mounts and paths under non-directories early).
+fn ensure_writable_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let probe = dir.join(".write-probe");
+    std::fs::File::create(&probe)?;
+    std::fs::remove_file(&probe)
+}
+
+/// Writes each trace point's event trace and interval series under `dir`.
+fn write_traces(
+    dir: &Path,
+    traces: &[(String, RunSpec)],
+    engine: &RunEngine,
+) -> std::io::Result<()> {
+    for (label, spec) in traces {
+        let result = engine.get(spec);
+        let Some(data) = &result.telemetry else {
+            eprintln!("warning: no telemetry recorded for {label}");
+            continue;
+        };
+        let events = dir.join(format!("{label}.events.jsonl"));
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&events)?);
+        data.write_events_jsonl(&mut w)?;
+        w.flush()?;
+        let intervals = dir.join(format!("{label}.intervals.csv"));
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&intervals)?);
+        data.write_samples_csv(&mut w)?;
+        w.flush()?;
+        println!(
+            "[trace {label}: {} events, {} samples -> {}]",
+            data.events.len(),
+            data.samples.len(),
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+/// The `trace` smoke path: one traced kernel, trace files written, no
+/// tables. Exists so CI (and humans) can exercise the full telemetry
+/// pipeline in seconds.
+fn run_trace_smoke(h: &Harness, dir: &Path, sample_every: u64, json: bool) -> ExitCode {
+    let engine = h.engine();
+    let traces = trace_points("e5", h, TelemetryConfig::new(sample_every));
+    let specs: Vec<RunSpec> = traces.iter().map(|(_, s)| s.clone()).collect();
+    engine.execute_batch(&specs);
+    if let Err(e) = write_traces(dir, &traces, &engine) {
+        eprintln!("error writing traces: {e}");
+        return ExitCode::FAILURE;
+    }
+    let summary = engine.summary();
+    println!("{summary}");
+    if json {
+        println!("{}", summary.to_json());
+    }
     ExitCode::SUCCESS
 }

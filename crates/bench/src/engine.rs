@@ -23,11 +23,16 @@
 //! stays trivial.
 
 use crate::{parallel_map, Harness};
-use gpgpu_sim::{GpuConfig, KernelId, SimStats};
-use gpgpu_workloads::{by_name, run_pair, run_workload_with_device, RunOutcome, Scale};
-use std::collections::{HashMap, HashSet};
+use gpgpu_sim::{GpuConfig, KernelId, SimStats, TelemetryConfig, TelemetryData};
+use gpgpu_workloads::{
+    by_name, run_pair, run_pair_traced, run_workload_traced, run_workload_with_device, RunOutcome,
+    Scale,
+};
+use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use tbs_core::{CtaPolicy, Lcs, WarpPolicy};
 
 /// What a [`RunSpec`] simulates: one kernel, or two kernels sharing the
@@ -70,6 +75,14 @@ pub struct RunSpec {
     pub cta: CtaPolicy,
     /// Per-run cycle budget.
     pub max_cycles: u64,
+    /// Optional telemetry (interval sampling + event trace) for this run.
+    ///
+    /// Deliberately **excluded from the dedup key**: telemetry observes a
+    /// run without changing it, so a traced spec and its plain twin are
+    /// the same simulation. Within a batch the traced variant wins (see
+    /// [`RunEngine::execute_batch`]), and every consumer of the shared
+    /// result gets the telemetry for free.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl RunSpec {
@@ -96,6 +109,7 @@ impl RunSpec {
             warp,
             cta,
             max_cycles: h.max_cycles,
+            telemetry: None,
         }
     }
 
@@ -113,14 +127,24 @@ impl RunSpec {
             warp,
             cta,
             max_cycles: h.max_cycles,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry request to this spec (builder-style). Does not
+    /// change the spec's [`key`](Self::key).
+    pub fn with_telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
     }
 
     /// The stable content key identifying this run.
     ///
-    /// Derived from every field (the GPU config via its complete `Debug`
-    /// field dump), so any difference in configuration yields a different
-    /// key and exact duplicates collapse to one.
+    /// Derived from every *simulation-affecting* field (the GPU config via
+    /// its complete `Debug` field dump), so any difference in
+    /// configuration yields a different key and exact duplicates collapse
+    /// to one. The `telemetry` request is excluded — it observes a run
+    /// without changing its results.
     pub fn key(&self) -> RunKey {
         let kind = match &self.kind {
             RunKind::Single { workload } => format!("single:{workload}"),
@@ -137,6 +161,13 @@ impl RunSpec {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RunKey(String);
 
+impl RunKey {
+    /// The key's stable string form (used to label profiles and traces).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
 /// The memoized result of one executed spec.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -147,6 +178,9 @@ pub struct RunResult {
     /// When the CTA policy was LCS: the per-core limits it decided during
     /// the run, sorted ascending (the E6 accuracy input).
     pub lcs_limits: Option<Vec<u32>>,
+    /// Telemetry collected during the run, when the executed spec
+    /// requested it.
+    pub telemetry: Option<TelemetryData>,
 }
 
 impl RunResult {
@@ -183,8 +217,101 @@ impl RunResult {
 pub struct RunEngine {
     jobs: usize,
     memo: Mutex<HashMap<RunKey, Arc<RunResult>>>,
+    profiles: Mutex<Vec<RunProfile>>,
     executed: AtomicUsize,
     deduped: AtomicUsize,
+}
+
+/// Wall-clock profile of one executed run (one entry per simulation, in
+/// completion-recording order).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunProfile {
+    /// The run's content key.
+    pub key: RunKey,
+    /// Wall-clock nanoseconds the simulation took on its worker thread.
+    pub wall_nanos: u64,
+    /// Device cycles the run simulated.
+    pub cycles: u64,
+    /// Warp-instructions the run issued.
+    pub instructions: u64,
+}
+
+impl RunProfile {
+    /// Simulation throughput in device cycles per wall-clock second.
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / (self.wall_nanos as f64 / 1e9)
+        }
+    }
+}
+
+/// Machine-readable roll-up of an engine's work: dedup accounting plus
+/// aggregate run profiling. Build with [`RunEngine::summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSummary {
+    /// Simulations actually executed.
+    pub executed: usize,
+    /// Requested runs satisfied from the memo table.
+    pub deduped: usize,
+    /// Worker-thread count.
+    pub jobs: usize,
+    /// Total wall-clock nanoseconds across executed runs (summed over
+    /// worker threads, so this can exceed elapsed time).
+    pub wall_nanos: u64,
+    /// Total device cycles simulated.
+    pub sim_cycles: u64,
+    /// Total warp-instructions simulated.
+    pub sim_instructions: u64,
+}
+
+impl EngineSummary {
+    /// Total runs requested (executed + deduplicated).
+    pub fn requested(&self) -> usize {
+        self.executed + self.deduped
+    }
+
+    /// Aggregate simulation throughput in device cycles per wall-clock
+    /// second of worker time.
+    pub fn cycles_per_second(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / (self.wall_nanos as f64 / 1e9)
+        }
+    }
+
+    /// Renders the summary as one flat JSON object (for `exp --json`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"executed\":{},\"deduped\":{},\"requested\":{},\"jobs\":{},\"wall_nanos\":{},\"sim_cycles\":{},\"sim_instructions\":{},\"cycles_per_second\":{:.1}}}",
+            self.executed,
+            self.deduped,
+            self.requested(),
+            self.jobs,
+            self.wall_nanos,
+            self.sim_cycles,
+            self.sim_instructions,
+            self.cycles_per_second()
+        )
+    }
+}
+
+impl fmt::Display for EngineSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} runs requested: {} simulated, {} deduplicated; {} worker threads; {} Mcycles in {:.1}s worker time ({:.1} Mcycles/s)]",
+            self.requested(),
+            self.executed,
+            self.deduped,
+            self.jobs,
+            self.sim_cycles / 1_000_000,
+            self.wall_nanos as f64 / 1e9,
+            self.cycles_per_second() / 1e6
+        )
+    }
 }
 
 impl RunEngine {
@@ -193,6 +320,7 @@ impl RunEngine {
         RunEngine {
             jobs: jobs.max(1),
             memo: Mutex::new(HashMap::new()),
+            profiles: Mutex::new(Vec::new()),
             executed: AtomicUsize::new(0),
             deduped: AtomicUsize::new(0),
         }
@@ -202,6 +330,11 @@ impl RunEngine {
     /// in parallel. Duplicates — within the batch or against earlier
     /// batches — are counted as deduplicated and not re-simulated.
     ///
+    /// When duplicates within the batch disagree on telemetry, the
+    /// telemetry-requesting variant is the one executed (the request
+    /// "upgrades" the shared run), so planners can overlay traced specs
+    /// on an existing plan without forcing extra simulations.
+    ///
     /// # Panics
     ///
     /// Panics if a simulation fails or its output does not verify (an
@@ -210,12 +343,18 @@ impl RunEngine {
         let mut fresh: Vec<(RunKey, RunSpec)> = Vec::new();
         {
             let memo = self.memo.lock().expect("not poisoned");
-            let mut batch_keys: HashSet<RunKey> = HashSet::new();
+            let mut batch_index: HashMap<RunKey, usize> = HashMap::new();
             for spec in specs {
                 let key = spec.key();
-                if memo.contains_key(&key) || !batch_keys.insert(key.clone()) {
+                if memo.contains_key(&key) {
                     self.deduped.fetch_add(1, Ordering::Relaxed);
+                } else if let Some(&i) = batch_index.get(&key) {
+                    self.deduped.fetch_add(1, Ordering::Relaxed);
+                    if fresh[i].1.telemetry.is_none() {
+                        fresh[i].1.telemetry = spec.telemetry;
+                    }
                 } else {
+                    batch_index.insert(key.clone(), fresh.len());
                     fresh.push((key, spec.clone()));
                 }
             }
@@ -224,19 +363,33 @@ impl RunEngine {
             .iter()
             .map(|(_, spec)| {
                 let spec = spec.clone();
-                move || execute_spec(&spec)
+                move || {
+                    let t0 = Instant::now();
+                    let result = execute_spec(&spec);
+                    (result, t0.elapsed().as_nanos() as u64)
+                }
             })
             .collect();
         let results = parallel_map(jobs, self.jobs);
         self.executed.fetch_add(fresh.len(), Ordering::Relaxed);
         let mut memo = self.memo.lock().expect("not poisoned");
-        for ((key, _), result) in fresh.into_iter().zip(results) {
+        let mut profiles = self.profiles.lock().expect("not poisoned");
+        for ((key, _), (result, wall_nanos)) in fresh.into_iter().zip(results) {
+            profiles.push(RunProfile {
+                key: key.clone(),
+                wall_nanos,
+                cycles: result.stats.cycles,
+                instructions: result.stats.instructions,
+            });
             memo.insert(key, Arc::new(result));
         }
     }
 
     /// The memoized result for `spec`, executing it first if no batch has
     /// covered it yet (so a collect phase can never observe a miss).
+    ///
+    /// A memo hit ignores `spec.telemetry` — to guarantee telemetry,
+    /// include the traced spec in the planning batch.
     ///
     /// # Panics
     ///
@@ -246,8 +399,16 @@ impl RunEngine {
         if let Some(r) = self.memo.lock().expect("not poisoned").get(&key) {
             return Arc::clone(r);
         }
+        let t0 = Instant::now();
         let result = Arc::new(execute_spec(spec));
+        let wall_nanos = t0.elapsed().as_nanos() as u64;
         self.executed.fetch_add(1, Ordering::Relaxed);
+        self.profiles.lock().expect("not poisoned").push(RunProfile {
+            key: key.clone(),
+            wall_nanos,
+            cycles: result.stats.cycles,
+            instructions: result.stats.instructions,
+        });
         let mut memo = self.memo.lock().expect("not poisoned");
         Arc::clone(memo.entry(key).or_insert(result))
     }
@@ -266,6 +427,25 @@ impl RunEngine {
     /// Worker-thread count this engine fans out over.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Per-run wall-clock profiles, one per executed simulation.
+    pub fn profiles(&self) -> Vec<RunProfile> {
+        self.profiles.lock().expect("not poisoned").clone()
+    }
+
+    /// The dedup/profiling roll-up of everything executed so far. Its
+    /// totals equal the sums over [`profiles`](Self::profiles).
+    pub fn summary(&self) -> EngineSummary {
+        let profiles = self.profiles.lock().expect("not poisoned");
+        EngineSummary {
+            executed: self.runs_executed(),
+            deduped: self.runs_deduped(),
+            jobs: self.jobs,
+            wall_nanos: profiles.iter().map(|p| p.wall_nanos).sum(),
+            sim_cycles: profiles.iter().map(|p| p.cycles).sum(),
+            sim_instructions: profiles.iter().map(|p| p.instructions).sum(),
+        }
     }
 }
 
@@ -339,6 +519,74 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_is_excluded_from_the_key() {
+        let h = Harness::quick();
+        let plain = spec(&h);
+        let traced = spec(&h).with_telemetry(TelemetryConfig::new(500));
+        assert_eq!(plain.key(), traced.key());
+    }
+
+    #[test]
+    fn traced_duplicate_upgrades_the_shared_run() {
+        let h = Harness::quick();
+        let engine = RunEngine::new(2);
+        // Plain spec first, traced twin second: one simulation, and the
+        // shared result must carry the telemetry.
+        let traced = spec(&h).with_telemetry(TelemetryConfig::new(500));
+        engine.execute_batch(&[spec(&h), traced.clone()]);
+        assert_eq!(engine.runs_executed(), 1);
+        assert_eq!(engine.runs_deduped(), 1);
+        let r = engine.get(&spec(&h));
+        let data = r.telemetry.as_ref().expect("traced variant must win");
+        assert!(!data.samples.is_empty(), "run long enough to sample");
+        assert!(!data.events.is_empty(), "at least launch/complete events");
+    }
+
+    #[test]
+    fn untraced_run_carries_no_telemetry() {
+        let h = Harness::quick();
+        let engine = RunEngine::new(1);
+        engine.execute_batch(&[spec(&h)]);
+        assert!(engine.get(&spec(&h)).telemetry.is_none());
+    }
+
+    #[test]
+    fn summary_totals_equal_profile_sums() {
+        let h = Harness::quick();
+        let engine = RunEngine::new(2);
+        let specs = [
+            spec(&h),
+            RunSpec::single(&h, "saxpy", WarpPolicy::Gto, CtaPolicy::Baseline(None)),
+            spec(&h), // duplicate
+        ];
+        engine.execute_batch(&specs);
+        let profiles = engine.profiles();
+        assert_eq!(profiles.len(), engine.runs_executed());
+        let summary = engine.summary();
+        assert_eq!(summary.executed, 2);
+        assert_eq!(summary.deduped, 1);
+        assert_eq!(summary.requested(), specs.len());
+        assert_eq!(summary.jobs, 2);
+        assert_eq!(
+            summary.wall_nanos,
+            profiles.iter().map(|p| p.wall_nanos).sum::<u64>()
+        );
+        assert_eq!(
+            summary.sim_cycles,
+            profiles.iter().map(|p| p.cycles).sum::<u64>()
+        );
+        assert_eq!(
+            summary.sim_instructions,
+            profiles.iter().map(|p| p.instructions).sum::<u64>()
+        );
+        assert!(summary.sim_cycles > 0);
+        let json = summary.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"executed\":2"));
+        assert!(json.contains("\"deduped\":1"));
+    }
+
+    #[test]
     fn key_separates_configs() {
         let h = Harness::quick();
         let base = spec(&h);
@@ -369,13 +617,25 @@ fn execute_spec(spec: &RunSpec) -> RunResult {
             let mut w = by_name(workload, spec.scale)
                 .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
             let factory = spec.warp.factory();
-            let (outcome, gpu) = run_workload_with_device(
-                w.as_mut(),
-                spec.gpu.clone(),
-                factory.as_ref(),
-                spec.cta.scheduler(),
-                spec.max_cycles,
-            )
+            let (outcome, gpu, telemetry) = match spec.telemetry {
+                Some(cfg) => run_workload_traced(
+                    w.as_mut(),
+                    spec.gpu.clone(),
+                    factory.as_ref(),
+                    spec.cta.scheduler(),
+                    spec.max_cycles,
+                    cfg,
+                )
+                .map(|(o, g, t)| (o, g, Some(t))),
+                None => run_workload_with_device(
+                    w.as_mut(),
+                    spec.gpu.clone(),
+                    factory.as_ref(),
+                    spec.cta.scheduler(),
+                    spec.max_cycles,
+                )
+                .map(|(o, g)| (o, g, None)),
+            }
             .unwrap_or_else(|e| panic!("{workload} under {}/{}: {e}", spec.warp, spec.cta));
             // Capture LCS's decided limits so accuracy experiments can run
             // through the memo table too (sorted: the scheduler's map
@@ -393,26 +653,42 @@ fn execute_spec(spec: &RunSpec) -> RunResult {
                 stats: outcome.stats,
                 kernels: vec![outcome.kernel],
                 lcs_limits,
+                telemetry,
             }
         }
         RunKind::Pair { a, b, serial } => {
             let mut wa = by_name(a, spec.scale).unwrap_or_else(|| panic!("unknown workload {a:?}"));
             let mut wb = by_name(b, spec.scale).unwrap_or_else(|| panic!("unknown workload {b:?}"));
             let factory = spec.warp.factory();
-            let (stats, ka, kb) = run_pair(
-                wa.as_mut(),
-                wb.as_mut(),
-                spec.gpu.clone(),
-                factory.as_ref(),
-                spec.cta.scheduler(),
-                *serial,
-                spec.max_cycles,
-            )
+            let (stats, ka, kb, telemetry) = match spec.telemetry {
+                Some(cfg) => run_pair_traced(
+                    wa.as_mut(),
+                    wb.as_mut(),
+                    spec.gpu.clone(),
+                    factory.as_ref(),
+                    spec.cta.scheduler(),
+                    *serial,
+                    spec.max_cycles,
+                    cfg,
+                )
+                .map(|(s, ka, kb, t)| (s, ka, kb, Some(t))),
+                None => run_pair(
+                    wa.as_mut(),
+                    wb.as_mut(),
+                    spec.gpu.clone(),
+                    factory.as_ref(),
+                    spec.cta.scheduler(),
+                    *serial,
+                    spec.max_cycles,
+                )
+                .map(|(s, ka, kb)| (s, ka, kb, None)),
+            }
             .unwrap_or_else(|e| panic!("pair {a}+{b} under {}/{}: {e}", spec.warp, spec.cta));
             RunResult {
                 stats,
                 kernels: vec![ka, kb],
                 lcs_limits: None,
+                telemetry,
             }
         }
     }

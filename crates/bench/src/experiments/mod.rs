@@ -88,6 +88,60 @@ pub fn run_experiment(id: &str, h: &Harness) -> Vec<Table> {
     collect_experiment(id, h, &engine)
 }
 
+/// Representative traced runs for experiment `id` — the runs `exp
+/// --trace-dir` records time-resolved telemetry for. Each entry's label
+/// becomes the trace file stem (`<label>.events.jsonl` /
+/// `<label>.intervals.csv`); experiments without a trace point return
+/// nothing.
+///
+/// Every returned spec matches a run the experiment already plans, so
+/// batching these alongside [`plan_experiment`]'s output upgrades the
+/// shared runs with telemetry instead of adding simulations (see
+/// [`RunEngine::execute_batch`]).
+pub fn trace_points(
+    id: &str,
+    h: &Harness,
+    telemetry: gpgpu_sim::TelemetryConfig,
+) -> Vec<(String, RunSpec)> {
+    let single = |name: &str, warp, cta| {
+        RunSpec::single(h, name, warp, cta).with_telemetry(telemetry)
+    };
+    match id {
+        // E2: the characterization baseline for a streaming kernel.
+        "e2" => vec![(
+            "e2_vecadd_gto_baseline".to_string(),
+            single("vecadd", WarpPolicy::Gto, CtaPolicy::Baseline(None)),
+        )],
+        // E5: baseline vs LCS on the same kernel, so the interval series
+        // show the throttle kicking in after the monitoring period.
+        "e5" => vec![
+            (
+                "e5_vecadd_gto_baseline".to_string(),
+                single("vecadd", WarpPolicy::Gto, CtaPolicy::Baseline(None)),
+            ),
+            (
+                "e5_vecadd_gto_lcs".to_string(),
+                single("vecadd", WarpPolicy::Gto, CtaPolicy::Lcs(0.7)),
+            ),
+        ],
+        // E8: a memory+compute pair under mixed CKE (co-schedule
+        // admissions appear as `cke-admit` events).
+        "e8" => vec![(
+            "e8_vecadd_fmaheavy_mixed_cke".to_string(),
+            RunSpec::pair(
+                h,
+                "vecadd",
+                "fmaheavy",
+                WarpPolicy::Gto,
+                CtaPolicy::MixedCke(0.7),
+                false,
+            )
+            .with_telemetry(telemetry),
+        )],
+        _ => Vec::new(),
+    }
+}
+
 /// Runs `name` under the given policies with the harness GPU config.
 ///
 /// Compatibility wrapper over a single-spec [`RunEngine`] — new code

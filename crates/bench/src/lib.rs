@@ -18,7 +18,7 @@ pub mod engine;
 pub mod experiments;
 pub mod table;
 
-pub use engine::{RunEngine, RunKey, RunKind, RunResult, RunSpec};
+pub use engine::{EngineSummary, RunEngine, RunKey, RunKind, RunProfile, RunResult, RunSpec};
 pub use table::Table;
 
 use gpgpu_sim::GpuConfig;

@@ -11,13 +11,15 @@
 //! ([`Baws`](crate::warp_sched::Baws)), which keeps the CTAs of a block
 //! advancing together so their shared lines are touched close in time.
 
-use gpgpu_sim::{CtaScheduler, Dispatch, DispatchView};
+use gpgpu_sim::{CtaScheduler, Dispatch, DispatchView, PolicyDecision};
 
 /// The BCS CTA scheduler.
 #[derive(Debug)]
 pub struct Bcs {
     block_size: u32,
     cursor: usize,
+    trace: bool,
+    trace_buf: Vec<PolicyDecision>,
 }
 
 impl Bcs {
@@ -37,6 +39,8 @@ impl Bcs {
         Bcs {
             block_size,
             cursor: 0,
+            trace: false,
+            trace_buf: Vec::new(),
         }
     }
 
@@ -73,6 +77,14 @@ impl CtaScheduler for Bcs {
                     continue;
                 }
                 self.cursor = (core + 1) % n;
+                if self.trace {
+                    self.trace_buf.push(PolicyDecision {
+                        core,
+                        kernel: k.id,
+                        action: "bcs-block",
+                        value: u64::from(want),
+                    });
+                }
                 return Some(Dispatch {
                     core,
                     kernel: k.id,
@@ -81,6 +93,17 @@ impl CtaScheduler for Bcs {
             }
         }
         None
+    }
+
+    fn set_trace_enabled(&mut self, on: bool) {
+        self.trace = on;
+        if !on {
+            self.trace_buf.clear();
+        }
+    }
+
+    fn take_trace_events(&mut self) -> Vec<PolicyDecision> {
+        std::mem::take(&mut self.trace_buf)
     }
 }
 

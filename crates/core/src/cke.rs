@@ -19,7 +19,9 @@
 //!   compute-intensive one on every core.
 
 use crate::lcs::Lcs;
-use gpgpu_sim::{CtaCompleteEvent, CtaScheduler, Dispatch, DispatchView, KernelId};
+use gpgpu_sim::{
+    CtaCompleteEvent, CtaScheduler, Dispatch, DispatchView, KernelId, PolicyDecision,
+};
 
 /// Core-granular ("leftover") concurrent kernel execution: a core hosts
 /// CTAs of at most one kernel at a time, earlier launches first.
@@ -135,6 +137,16 @@ impl CtaScheduler for MixedCke {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn set_trace_enabled(&mut self, on: bool) {
+        self.inner.set_trace_enabled(on);
+    }
+
+    fn take_trace_events(&mut self) -> Vec<PolicyDecision> {
+        // The inner LCS makes the per-core limit decisions; co-schedule
+        // admissions are emitted by the device as `CkeAdmit` events.
+        self.inner.take_trace_events()
     }
 }
 

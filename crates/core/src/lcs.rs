@@ -44,6 +44,7 @@
 
 use gpgpu_sim::{
     CtaCompleteEvent, CtaIssueSample, CtaScheduler, Cycle, Dispatch, DispatchView, KernelId,
+    PolicyDecision,
 };
 use std::collections::BTreeMap;
 
@@ -103,6 +104,8 @@ pub struct Lcs {
     kernel_start: BTreeMap<KernelId, Cycle>,
     phases: BTreeMap<(usize, KernelId), Phase>,
     decisions: BTreeMap<(usize, KernelId), u32>,
+    trace: bool,
+    trace_buf: Vec<PolicyDecision>,
 }
 
 impl Lcs {
@@ -144,6 +147,8 @@ impl Lcs {
             kernel_start: BTreeMap::new(),
             phases: BTreeMap::new(),
             decisions: BTreeMap::new(),
+            trace: false,
+            trace_buf: Vec::new(),
         }
     }
 
@@ -238,6 +243,23 @@ impl CtaScheduler for Lcs {
         };
         self.phases.insert(key, Phase::Throttled(limit));
         self.decisions.insert(key, limit);
+        if self.trace {
+            self.trace_buf.push(if limit == u32::MAX {
+                PolicyDecision {
+                    core: ev.core,
+                    kernel: ev.kernel,
+                    action: "lcs-keep-max",
+                    value: 0,
+                }
+            } else {
+                PolicyDecision {
+                    core: ev.core,
+                    kernel: ev.kernel,
+                    action: "lcs-limit",
+                    value: u64::from(limit),
+                }
+            });
+        }
     }
 
     fn on_kernel_finish(&mut self, kernel: KernelId) {
@@ -247,6 +269,17 @@ impl CtaScheduler for Lcs {
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
+    }
+
+    fn set_trace_enabled(&mut self, on: bool) {
+        self.trace = on;
+        if !on {
+            self.trace_buf.clear();
+        }
+    }
+
+    fn take_trace_events(&mut self) -> Vec<PolicyDecision> {
+        std::mem::take(&mut self.trace_buf)
     }
 
     fn select(&mut self, view: &DispatchView<'_>) -> Option<Dispatch> {

@@ -217,6 +217,17 @@ impl Core {
             .count() as u32
     }
 
+    /// Warps currently resident on this core (all kernels).
+    pub fn resident_warps(&self) -> u32 {
+        self.used_warps
+    }
+
+    /// L1 MSHR entries currently in use (instantaneous occupancy; the
+    /// telemetry sampler's contention signal).
+    pub fn l1_mshrs_in_use(&self) -> usize {
+        self.l1.mshrs_in_use()
+    }
+
     /// CTAs of `kernel` completed on this core so far.
     pub fn completed_of(&self, kernel: KernelId) -> u64 {
         self.completed_per_kernel.get(&kernel).copied().unwrap_or(0)

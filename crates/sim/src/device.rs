@@ -9,6 +9,7 @@ use crate::sched_api::{
     WarpSchedulerFactory,
 };
 use crate::stats::{KernelStats, SimStats};
+use crate::telemetry::{MemorySink, Telemetry, TelemetryConfig, TelemetryData, TraceEvent, TraceSink};
 use gpgpu_isa::KernelDescriptor;
 use gpgpu_mem::{Cycle, MemFabric};
 use std::error::Error;
@@ -89,6 +90,9 @@ pub struct GpuDevice {
     age_counter: u64,
     last_progress: Cycle,
     last_issued_total: u64,
+    /// Attached telemetry; `None` (the default) keeps every hook a single
+    /// branch on the fast path.
+    telemetry: Option<Telemetry>,
 }
 
 impl fmt::Debug for GpuDevice {
@@ -129,8 +133,56 @@ impl GpuDevice {
             age_counter: 0,
             last_progress: 0,
             last_issued_total: 0,
+            telemetry: None,
             cfg,
         }
+    }
+
+    /// Attaches telemetry: interval samples and (if configured) trace
+    /// events flow into `sink` from now on. Also enables policy-decision
+    /// tracing on the CTA scheduler.
+    ///
+    /// Attach before [`run`](Self::run) — the sampler's delta baseline
+    /// starts at the current counter values.
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig, sink: Box<dyn TraceSink>) {
+        if let Some(cs) = self.cta_sched.as_mut() {
+            cs.set_trace_enabled(cfg.trace_events);
+        }
+        self.telemetry = Some(Telemetry::new(cfg, sink));
+    }
+
+    /// Detaches telemetry, emitting the final (possibly partial) interval
+    /// sample and flushing the sink. Returns `None` if telemetry was never
+    /// attached.
+    pub fn take_telemetry(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut t = self.telemetry.take()?;
+        t.final_sample(self.now, &self.cores, &self.fabric, self.gmem.resident_pages());
+        if let Some(cs) = self.cta_sched.as_mut() {
+            if t.events_enabled() {
+                for d in cs.take_trace_events() {
+                    t.record(TraceEvent::Policy {
+                        cycle: self.now,
+                        core: d.core,
+                        kernel: d.kernel,
+                        action: d.action.to_string(),
+                        value: d.value,
+                    });
+                }
+            }
+            cs.set_trace_enabled(false);
+        }
+        Some(t.into_sink())
+    }
+
+    /// As [`take_telemetry`](Self::take_telemetry), additionally unpacking
+    /// an in-memory sink ([`MemorySink`]) into its collected
+    /// [`TelemetryData`]. Returns `None` if telemetry was never attached
+    /// or the sink is not a `MemorySink`.
+    pub fn take_telemetry_data(&mut self) -> Option<TelemetryData> {
+        let mut sink = self.take_telemetry()?;
+        sink.as_any_mut()?
+            .downcast_mut::<MemorySink>()
+            .map(MemorySink::take_data)
     }
 
     /// The device configuration.
@@ -236,6 +288,16 @@ impl GpuDevice {
             if let Some(cs) = self.cta_sched.as_mut() {
                 cs.on_kernel_launch(KernelId(i), &desc, &self.cfg);
             }
+            if let Some(t) = self.telemetry.as_mut() {
+                if t.events_enabled() {
+                    t.record(TraceEvent::KernelLaunch {
+                        cycle: self.now,
+                        kernel: KernelId(i),
+                        name: desc.name().to_string(),
+                        ctas: desc.cta_count(),
+                    });
+                }
+            }
         }
     }
 
@@ -303,10 +365,32 @@ impl GpuDevice {
                 break; // does not fit; stop to avoid livelock
             }
             let desc = Arc::clone(&state.desc);
+            if self.telemetry.as_ref().is_some_and(Telemetry::events_enabled) {
+                // Co-schedule admission: this dispatch brings `d.kernel`
+                // onto a core already hosting a different kernel's CTAs.
+                let admit = self.cores[d.core].cta_count_of(d.kernel) == 0
+                    && self.cores[d.core].active_cta_count() > 0;
+                if admit {
+                    let ev = TraceEvent::CkeAdmit {
+                        cycle: self.now,
+                        kernel: d.kernel,
+                        core: d.core,
+                    };
+                    self.telemetry.as_mut().expect("checked above").record(ev);
+                }
+            }
             for _ in 0..count {
                 let cta = self.kernels[d.kernel.0].next_cta;
                 self.kernels[d.kernel.0].next_cta += 1;
                 self.cores[d.core].dispatch_cta(d.kernel, cta, &desc, &mut self.age_counter);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.record(TraceEvent::CtaDispatch {
+                        cycle: self.now,
+                        kernel: d.kernel,
+                        cta,
+                        core: d.core,
+                    });
+                }
             }
         }
         self.cta_sched = Some(cta_sched);
@@ -342,16 +426,56 @@ impl GpuDevice {
                 slot_snapshot: c.slot_snapshot,
             };
             cta_sched.on_cta_complete(&ev);
+            if let Some(t) = self.telemetry.as_mut() {
+                t.record(TraceEvent::CtaRetire {
+                    cycle: now,
+                    kernel: c.kernel,
+                    cta: c.cta_id,
+                    core,
+                });
+            }
             let k = &mut self.kernels[c.kernel.0];
             k.completed_ctas += 1;
             if k.completed_ctas == k.desc.cta_count() {
                 k.phase = KernelPhase::Done;
                 k.end_cycle = now;
                 cta_sched.on_kernel_finish(c.kernel);
+                if self.telemetry.as_ref().is_some_and(Telemetry::events_enabled) {
+                    let start = self.kernels[c.kernel.0].start_cycle;
+                    let instructions: u64 =
+                        self.cores.iter().map(|cr| cr.issued_of(c.kernel)).sum();
+                    self.telemetry
+                        .as_mut()
+                        .expect("checked above")
+                        .record(TraceEvent::KernelComplete {
+                            cycle: now,
+                            kernel: c.kernel,
+                            cycles: now.saturating_sub(start),
+                            instructions,
+                        });
+                }
+            }
+        }
+        // Drain policy decisions buffered this cycle (dispatch- and
+        // completion-driven alike) so they land in cycle order.
+        if let Some(t) = self.telemetry.as_mut() {
+            if t.events_enabled() {
+                for d in cta_sched.take_trace_events() {
+                    t.record(TraceEvent::Policy {
+                        cycle: now,
+                        core: d.core,
+                        kernel: d.kernel,
+                        action: d.action.to_string(),
+                        value: d.value,
+                    });
+                }
             }
         }
         self.cta_sched = Some(cta_sched);
         self.now += 1;
+        if let Some(t) = self.telemetry.as_mut() {
+            t.maybe_sample(self.now, &self.cores, &self.fabric, self.gmem.resident_pages());
+        }
     }
 
     /// Runs until every launched kernel completes.
@@ -401,6 +525,7 @@ impl GpuDevice {
                     .map(|c| c.issued_of(KernelId(i)))
                     .sum(),
                 ctas: k.desc.cta_count(),
+                started: k.phase != KernelPhase::Pending,
                 done: k.phase == KernelPhase::Done,
             })
             .collect();

@@ -37,6 +37,7 @@ mod memory;
 pub mod sched_api;
 pub mod simt;
 mod stats;
+pub mod telemetry;
 
 pub use config::GpuConfig;
 pub use core_model::{Core, CoreCtaCompletion, CoreStats};
@@ -48,6 +49,10 @@ pub use sched_api::{
 };
 pub use simt::{LaneMask, SimtStack, FULL_MASK};
 pub use stats::{KernelStats, SimStats};
+pub use telemetry::{
+    CsvSink, IntervalSample, JsonlSink, MemorySink, NullSink, PolicyDecision, Telemetry,
+    TelemetryConfig, TelemetryData, TraceEvent, TraceSink,
+};
 
 // Re-export commonly paired items so downstream crates need fewer
 // direct dependencies.

@@ -282,6 +282,19 @@ pub trait CtaScheduler: fmt::Debug {
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         None
     }
+
+    /// Turns policy-decision tracing on or off (see
+    /// [`take_trace_events`](Self::take_trace_events)). The device calls
+    /// this when telemetry is attached; policies without decisions to
+    /// report may ignore it (the default).
+    fn set_trace_enabled(&mut self, _on: bool) {}
+
+    /// Drains the policy decisions buffered since the last call, in the
+    /// order they were made. Only buffered while tracing is enabled, so
+    /// the default (always empty, allocation-free) costs nothing.
+    fn take_trace_events(&mut self) -> Vec<crate::telemetry::PolicyDecision> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

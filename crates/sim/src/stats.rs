@@ -19,19 +19,50 @@ pub struct KernelStats {
     pub instructions: u64,
     /// CTAs in the grid.
     pub ctas: u64,
+    /// Whether the kernel has become dispatchable yet (distinguishes a
+    /// pending kernel from one activated at cycle 0).
+    pub started: bool,
     /// Whether the kernel has completed.
     pub done: bool,
 }
 
 impl KernelStats {
-    /// Execution time in cycles (0 while running).
+    /// Execution time in cycles (0 while running — use
+    /// [`elapsed`](Self::elapsed) for an in-flight kernel).
     pub fn cycles(&self) -> u64 {
         self.end_cycle.saturating_sub(self.start_cycle)
     }
 
+    /// Cycles the kernel has been running as of cycle `now`: its final
+    /// execution time once done, the time since activation while in
+    /// flight, and 0 while still pending.
+    pub fn elapsed(&self, now: Cycle) -> u64 {
+        if self.done {
+            self.cycles()
+        } else if self.started {
+            now.saturating_sub(self.start_cycle)
+        } else {
+            0
+        }
+    }
+
     /// Instructions per cycle over the kernel's own lifetime.
+    ///
+    /// 0 while the kernel is in flight — mid-run consumers (the interval
+    /// sampler, progress reports) should use [`ipc_at`](Self::ipc_at).
     pub fn ipc(&self) -> f64 {
         let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / c as f64
+        }
+    }
+
+    /// Instructions per cycle as of cycle `now`: meaningful mid-run
+    /// (in-flight kernels report their IPC so far rather than 0).
+    pub fn ipc_at(&self, now: Cycle) -> f64 {
+        let c = self.elapsed(now);
         if c == 0 {
             0.0
         } else {
@@ -86,10 +117,15 @@ mod tests {
             end_cycle: 300,
             instructions: 400,
             ctas: 8,
+            started: true,
             done: true,
         };
         assert_eq!(k.cycles(), 200);
         assert!((k.ipc() - 2.0).abs() < 1e-12);
+        // elapsed/ipc_at agree with the final numbers once done,
+        // regardless of `now`.
+        assert_eq!(k.elapsed(10_000), 200);
+        assert!((k.ipc_at(10_000) - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -101,9 +137,43 @@ mod tests {
             end_cycle: 0,
             instructions: 400,
             ctas: 8,
+            started: true,
             done: false,
         };
         assert_eq!(k.cycles(), 0);
         assert_eq!(k.ipc(), 0.0);
+    }
+
+    #[test]
+    fn in_flight_kernel_reports_elapsed_ipc() {
+        let k = KernelStats {
+            id: KernelId(0),
+            name: "k".into(),
+            start_cycle: 100,
+            end_cycle: 0,
+            instructions: 400,
+            ctas: 8,
+            started: true,
+            done: false,
+        };
+        assert_eq!(k.elapsed(300), 200);
+        assert!((k.ipc_at(300) - 2.0).abs() < 1e-12);
+        assert_eq!(k.elapsed(50), 0, "clock before activation saturates");
+    }
+
+    #[test]
+    fn pending_kernel_reports_zero() {
+        let k = KernelStats {
+            id: KernelId(1),
+            name: "k".into(),
+            start_cycle: 0,
+            end_cycle: 0,
+            instructions: 0,
+            ctas: 8,
+            started: false,
+            done: false,
+        };
+        assert_eq!(k.elapsed(9999), 0, "pending, not 'running since 0'");
+        assert_eq!(k.ipc_at(9999), 0.0);
     }
 }

@@ -2,7 +2,8 @@
 
 use crate::common::{VerifyError, Workload};
 use gpgpu_sim::{
-    CtaScheduler, GpuConfig, GpuDevice, KernelId, SimError, SimStats, WarpSchedulerFactory,
+    CtaScheduler, GpuConfig, GpuDevice, KernelId, MemorySink, SimError, SimStats, TelemetryConfig,
+    TelemetryData, WarpSchedulerFactory,
 };
 use std::error::Error;
 use std::fmt;
@@ -119,6 +120,35 @@ pub fn run_workload_with_device(
     Ok((outcome, gpu))
 }
 
+/// As [`run_workload_with_device`], with telemetry attached for the whole
+/// run: interval samples and trace events are collected in memory and
+/// returned alongside the outcome.
+///
+/// # Errors
+///
+/// As [`run_workload`] (telemetry from a failed run is discarded).
+pub fn run_workload_traced(
+    workload: &mut dyn Workload,
+    cfg: GpuConfig,
+    warp: &dyn WarpSchedulerFactory,
+    cta: Box<dyn CtaScheduler>,
+    max_cycles: u64,
+    telemetry: TelemetryConfig,
+) -> Result<(RunOutcome, GpuDevice, TelemetryData), RunError> {
+    let mut gpu = GpuDevice::new(cfg, warp, cta);
+    gpu.enable_telemetry(telemetry, Box::new(MemorySink::new()));
+    let desc = workload.prepare(gpu.mem());
+    let kernel = gpu.launch(desc);
+    gpu.run(max_cycles)?;
+    workload.verify(gpu.mem_ref())?;
+    let outcome = RunOutcome {
+        stats: gpu.stats(),
+        kernel,
+    };
+    let data = gpu.take_telemetry_data().unwrap_or_default();
+    Ok((outcome, gpu, data))
+}
+
 /// Runs two workloads concurrently (both launched at cycle 0) and verifies
 /// both. Returns the outcome with total cycles and both kernels' stats.
 ///
@@ -147,4 +177,37 @@ pub fn run_pair(
     a.verify(gpu.mem_ref())?;
     b.verify(gpu.mem_ref())?;
     Ok((gpu.stats(), ka, kb))
+}
+
+/// As [`run_pair`], with telemetry attached for the whole run.
+///
+/// # Errors
+///
+/// As [`run_workload`] (telemetry from a failed run is discarded).
+#[allow(clippy::too_many_arguments)]
+pub fn run_pair_traced(
+    a: &mut dyn Workload,
+    b: &mut dyn Workload,
+    cfg: GpuConfig,
+    warp: &dyn WarpSchedulerFactory,
+    cta: Box<dyn CtaScheduler>,
+    serial: bool,
+    max_cycles: u64,
+    telemetry: TelemetryConfig,
+) -> Result<(SimStats, KernelId, KernelId, TelemetryData), RunError> {
+    let mut gpu = GpuDevice::new(cfg, warp, cta);
+    gpu.enable_telemetry(telemetry, Box::new(MemorySink::new()));
+    let desc_a = a.prepare(gpu.mem());
+    let desc_b = b.prepare(gpu.mem());
+    let ka = gpu.launch(desc_a);
+    let kb = if serial {
+        gpu.launch_after(desc_b, ka)
+    } else {
+        gpu.launch(desc_b)
+    };
+    gpu.run(max_cycles)?;
+    a.verify(gpu.mem_ref())?;
+    b.verify(gpu.mem_ref())?;
+    let data = gpu.take_telemetry_data().unwrap_or_default();
+    Ok((gpu.stats(), ka, kb, data))
 }

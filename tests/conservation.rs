@@ -1,0 +1,61 @@
+//! Conservation invariants on [`SimStats`]: counters that must balance at
+//! quiesce no matter which scheduling policies ran. A violation means the
+//! simulator lost or double-counted work — exactly the kind of bug that
+//! silently skews every experiment downstream.
+
+use gpgpu_repro::sim::SimStats;
+use gpgpu_repro::tbs::{CtaPolicy, WarpPolicy};
+use gpgpu_repro::workloads::{by_name, run_workload, Scale};
+
+const MAX_CYCLES: u64 = 50_000_000;
+
+fn run(warp: WarpPolicy, cta: CtaPolicy) -> SimStats {
+    let mut w = by_name("vecadd", Scale::Tiny).expect("suite member");
+    let factory = warp.factory();
+    run_workload(
+        w.as_mut(),
+        gpgpu_repro::sim::GpuConfig::test_small(),
+        factory.as_ref(),
+        cta.scheduler(),
+        MAX_CYCLES,
+    )
+    .unwrap_or_else(|e| panic!("{warp}/{cta}: {e}"))
+    .stats
+}
+
+#[test]
+fn counters_balance_under_every_policy_combination() {
+    for (warp_name, warp) in WarpPolicy::all_named() {
+        for (cta_name, cta) in CtaPolicy::all_named() {
+            let stats = run(warp, cta);
+            let tag = format!("{warp_name}/{cta_name}");
+
+            // Every load that entered the fabric came back out: the
+            // memory system holds no requests at quiesce.
+            assert_eq!(
+                stats.fabric.loads_in, stats.fabric.loads_out,
+                "{tag}: loads in flight at quiesce"
+            );
+
+            // Per-kernel instruction attribution covers every issued
+            // instruction exactly once.
+            let per_kernel: u64 = stats.kernels.iter().map(|k| k.instructions).sum();
+            assert_eq!(
+                per_kernel, stats.instructions,
+                "{tag}: per-kernel instructions must sum to the device total"
+            );
+
+            // Every CTA of every kernel retired on exactly one core.
+            let cores_completed: u64 = stats.cores.iter().map(|c| c.ctas_completed).sum();
+            let grid_ctas: u64 = stats.kernels.iter().map(|k| k.ctas).sum();
+            assert_eq!(
+                cores_completed, grid_ctas,
+                "{tag}: per-core CTA completions must cover every grid CTA"
+            );
+            assert!(
+                stats.kernels.iter().all(|k| k.done),
+                "{tag}: run_workload returns only after completion"
+            );
+        }
+    }
+}

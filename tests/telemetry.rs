@@ -1,0 +1,116 @@
+//! End-to-end telemetry tests: a traced run must (1) leave the simulation
+//! results untouched, (2) emit a cycle-ordered event trace that round-trips
+//! through its JSONL encoding, and (3) produce interval samples whose
+//! deltas sum back to the run's cumulative totals.
+
+use gpgpu_repro::sim::{GpuConfig, TelemetryConfig, TelemetryData, TraceEvent};
+use gpgpu_repro::tbs::{CtaPolicy, WarpPolicy};
+use gpgpu_repro::workloads::{by_name, run_workload, run_workload_traced, RunOutcome, Scale};
+
+const MAX_CYCLES: u64 = 50_000_000;
+
+fn traced_run(name: &str, cta: CtaPolicy, sample_every: u64) -> (RunOutcome, TelemetryData) {
+    let mut w = by_name(name, Scale::Tiny).expect("suite member");
+    let factory = WarpPolicy::Gto.factory();
+    let (outcome, _gpu, data) = run_workload_traced(
+        w.as_mut(),
+        GpuConfig::test_small(),
+        factory.as_ref(),
+        cta.scheduler(),
+        MAX_CYCLES,
+        TelemetryConfig::new(sample_every),
+    )
+    .expect("traced run completes");
+    (outcome, data)
+}
+
+#[test]
+fn telemetry_does_not_change_results() {
+    let mut w = by_name("vecadd", Scale::Tiny).expect("suite member");
+    let factory = WarpPolicy::Gto.factory();
+    let plain = run_workload(
+        w.as_mut(),
+        GpuConfig::test_small(),
+        factory.as_ref(),
+        CtaPolicy::Lcs(0.7).scheduler(),
+        MAX_CYCLES,
+    )
+    .expect("plain run completes");
+    let (traced, data) = traced_run("vecadd", CtaPolicy::Lcs(0.7), 500);
+    assert_eq!(plain.stats, traced.stats, "telemetry must only observe");
+    assert!(!data.events.is_empty());
+    assert!(!data.samples.is_empty());
+}
+
+#[test]
+fn real_run_events_round_trip_through_jsonl() {
+    let (_, data) = traced_run("vecadd", CtaPolicy::Lcs(0.7), 500);
+    for ev in &data.events {
+        let line = ev.to_json();
+        let back = TraceEvent::from_json(&line)
+            .unwrap_or_else(|e| panic!("round-trip failed for {line}: {e}"));
+        assert_eq!(&back, ev);
+    }
+    // The whole-file writer emits exactly one parseable line per event.
+    let mut buf = Vec::new();
+    data.write_events_jsonl(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert_eq!(text.lines().count(), data.events.len());
+    for line in text.lines() {
+        TraceEvent::from_json(line).expect("every written line parses");
+    }
+}
+
+#[test]
+fn events_are_cycle_ordered_and_complete() {
+    let (outcome, data) = traced_run("vecadd", CtaPolicy::Baseline(None), 500);
+    let ctas = outcome
+        .stats
+        .kernel(outcome.kernel)
+        .expect("kernel ran")
+        .ctas;
+    let mut last = 0;
+    for ev in &data.events {
+        assert!(ev.cycle() >= last, "events must be cycle-ordered");
+        last = ev.cycle();
+    }
+    let count = |want: &str| {
+        data.events
+            .iter()
+            .filter(|e| e.to_json().contains(&format!("\"type\":\"{want}\"")))
+            .count() as u64
+    };
+    assert_eq!(count("kernel-launch"), 1);
+    assert_eq!(count("kernel-complete"), 1);
+    assert_eq!(count("cta-dispatch"), ctas, "every CTA dispatch is traced");
+    assert_eq!(count("cta-retire"), ctas, "every CTA retirement is traced");
+}
+
+#[test]
+fn interval_deltas_sum_to_run_totals() {
+    let (outcome, data) = traced_run("vecadd", CtaPolicy::Baseline(None), 300);
+    assert!(data.samples.len() >= 2, "run spans several intervals");
+    let sum = |f: fn(&gpgpu_repro::sim::IntervalSample) -> u64| -> u64 {
+        data.samples.iter().map(f).sum()
+    };
+    assert_eq!(sum(|s| s.instructions), outcome.stats.instructions);
+    assert_eq!(sum(|s| s.l1_accesses), outcome.stats.l1.accesses());
+    assert_eq!(sum(|s| s.l1_hits), outcome.stats.l1.hits());
+    assert_eq!(sum(|s| s.l2_accesses), outcome.stats.fabric.l2.accesses());
+    assert_eq!(sum(|s| s.l2_hits), outcome.stats.fabric.l2.hits());
+    assert_eq!(sum(|s| s.dram_row_hits), outcome.stats.fabric.dram.row_hits);
+    assert_eq!(sum(|s| s.dram_rejected), outcome.stats.fabric.dram.rejected);
+    // Intervals tile the run: contiguous, non-overlapping, ending at the
+    // final cycle.
+    let mut expect_start = 0;
+    for s in &data.samples {
+        assert_eq!(s.cycle_start, expect_start, "intervals must be contiguous");
+        assert!(s.cycle_end > s.cycle_start);
+        expect_start = s.cycle_end;
+    }
+    assert_eq!(
+        data.samples.last().unwrap().cycle_end,
+        outcome.stats.cycles,
+        "final (partial) interval reaches the end of the run"
+    );
+}

@@ -32,26 +32,37 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: exp [options] (--all | e1 e2 ... e10 | trace)
+usage: exp [options] (--all | e1 e2 ... e10 | trace | perf)
   --quick           Tiny workloads (alias for --scale tiny)
   --scale SCALE     workload scale: tiny | small (default small)
   --jobs N          worker threads for the run engine (default: all cores)
   --out-dir PATH    directory CSVs are written to (default: results/)
   --trace-dir PATH  record telemetry for E2/E5/E8 trace points into PATH
   --sample-every N  telemetry sampling interval in cycles (default 1000)
+  --no-fast-forward run the reference cycle-by-cycle loop (results are
+                    bit-identical either way; this is the slow path)
   --json            also print the run summary as one JSON object
   --list            list experiment ids
   --help            show this help
 
   trace             telemetry smoke run: trace one kernel, write the
                     trace files (to --trace-dir, default results/traces),
-                    print no tables";
+                    print no tables
+
+  perf              simulator throughput benchmark: run the full E1..E10
+                    batch, report cycles/sec, write BENCH_sim.json
+    --bench-out PATH  where the JSON report goes (default BENCH_sim.json)
+    --baseline PATH   compare against a previous report; exit nonzero on
+                      a >25% cycles/sec regression";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut h = Harness::default();
     let mut run_all = false;
     let mut trace_cmd = false;
+    let mut perf_cmd = false;
+    let mut bench_out = PathBuf::from("BENCH_sim.json");
+    let mut baseline: Option<PathBuf> = None;
     let mut trace_dir: Option<PathBuf> = None;
     let mut sample_every: u64 = 1000;
     let mut json = false;
@@ -92,6 +103,21 @@ fn main() -> ExitCode {
                 sample_every = n;
             }
             "--json" => json = true,
+            "--no-fast-forward" => gpgpu_sim::set_fast_forward_default(false),
+            "--bench-out" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--bench-out needs a path; try --help");
+                    return ExitCode::FAILURE;
+                };
+                bench_out = p.into();
+            }
+            "--baseline" => {
+                let Some(p) = it.next() else {
+                    eprintln!("--baseline needs a path; try --help");
+                    return ExitCode::FAILURE;
+                };
+                baseline = Some(p.into());
+            }
             "--scale" => {
                 match it.next().map(String::as_str) {
                     Some("tiny") => h.scale = Scale::Tiny,
@@ -113,6 +139,7 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "trace" => trace_cmd = true,
+            "perf" => perf_cmd = true,
             id if id.starts_with('e') && all_ids().contains(&id) => ids.push(id.to_string()),
             other => {
                 eprintln!("unknown argument {other:?}; try --help");
@@ -132,6 +159,9 @@ fn main() -> ExitCode {
     }
     if trace_cmd {
         return run_trace_smoke(&h, &trace_dir.expect("defaulted above"), sample_every, json);
+    }
+    if perf_cmd {
+        return run_perf(&h, &bench_out, baseline.as_deref(), json);
     }
     if run_all {
         ids = all_ids().into_iter().map(String::from).collect();
@@ -189,6 +219,21 @@ fn main() -> ExitCode {
     if json {
         println!("{}", summary.to_json());
     }
+    // Diagnostics: per-run wall-clock ranking, for finding which
+    // simulations dominate a batch.
+    if std::env::var_os("EXP_PROFILE_RUNS").is_some() {
+        let mut profiles = engine.profiles();
+        profiles.sort_by_key(|p| std::cmp::Reverse(p.wall_nanos));
+        for p in profiles.iter().take(25) {
+            eprintln!(
+                "[run {:>8.2}s {:>6.2} Mcycles {:>6.3} Mcyc/s] {}",
+                p.wall_nanos as f64 / 1e9,
+                p.cycles as f64 / 1e6,
+                p.cycles_per_second() / 1e6,
+                p.key.as_str()
+            );
+        }
+    }
     println!("[all experiments took {:.1?}]", total.elapsed());
     ExitCode::SUCCESS
 }
@@ -230,6 +275,82 @@ fn write_traces(
         );
     }
     Ok(())
+}
+
+/// The `perf` path: simulate the full E1..E10 batch (no tables), report
+/// simulator throughput, write a machine-readable `BENCH_sim.json`, and
+/// optionally gate against a previous report.
+fn run_perf(h: &Harness, bench_out: &Path, baseline: Option<&Path>, json: bool) -> ExitCode {
+    let engine = h.engine();
+    let mut specs = Vec::new();
+    for id in all_ids() {
+        specs.extend(plan_experiment(id, h));
+    }
+    let t0 = std::time::Instant::now();
+    engine.execute_batch(&specs);
+    let elapsed = t0.elapsed();
+    let summary = engine.summary();
+    println!("{summary}");
+    println!(
+        "[perf: {} Mcycles in {:.1}s elapsed ({} worker threads), {:.2} Mcycles/s worker throughput]",
+        summary.sim_cycles / 1_000_000,
+        elapsed.as_secs_f64(),
+        summary.jobs,
+        summary.cycles_per_second() / 1e6
+    );
+    // The engine summary is already flat JSON; prepend the batch-level
+    // elapsed time so the report captures both worker and wall time.
+    let payload = format!(
+        "{{\"bench\":\"exp_perf\",\"elapsed_nanos\":{},{}",
+        elapsed.as_nanos(),
+        &summary.to_json()[1..]
+    );
+    if let Err(e) = std::fs::write(bench_out, format!("{payload}\n")) {
+        eprintln!("cannot write {}: {e}", bench_out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[wrote {}]", bench_out.display());
+    if json {
+        println!("{payload}");
+    }
+    if let Some(base) = baseline {
+        let base_cps = match read_baseline_cps(base) {
+            Ok(v) if v > 0.0 => v,
+            Ok(_) => {
+                eprintln!("baseline {} has no positive cycles_per_second", base.display());
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("cannot read baseline {}: {e}", base.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let cps = summary.cycles_per_second();
+        println!(
+            "[perf gate: {:.2} Mcycles/s vs baseline {:.2} Mcycles/s ({:+.1}%)]",
+            cps / 1e6,
+            base_cps / 1e6,
+            (cps / base_cps - 1.0) * 100.0
+        );
+        if cps < base_cps * 0.75 {
+            eprintln!("perf regression: throughput is >25% below the baseline");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Extracts `cycles_per_second` from a previous `BENCH_sim.json` (flat
+/// JSON; no parser dependency needed).
+fn read_baseline_cps(path: &Path) -> Result<f64, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let key = "\"cycles_per_second\":";
+    let start = text.find(key).ok_or("no cycles_per_second field")? + key.len();
+    let rest = &text[start..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse::<f64>().map_err(|e| e.to_string())
 }
 
 /// The `trace` smoke path: one traced kernel, trace files written, no

@@ -221,14 +221,14 @@ impl Instruction {
     }
 
     /// All source registers read by this instruction (excluding the guard
-    /// predicate), deduplicated, in operand order.
-    pub fn src_regs(&self) -> Vec<Reg> {
-        let mut out = Vec::with_capacity(3);
+    /// predicate), deduplicated, in operand order. Stored inline — this is
+    /// queried per resident warp per cycle by the issue-stage scoreboard,
+    /// so it must not heap-allocate.
+    pub fn src_regs(&self) -> SrcRegs {
+        let mut out = SrcRegs::new();
         let mut push = |o: &Operand| {
             if let Operand::Reg(r) = o {
-                if !out.contains(r) {
-                    out.push(*r);
-                }
+                out.push(*r);
             }
         };
         match &self.op {
@@ -248,16 +248,10 @@ impl Instruction {
                 push(a);
                 push(b);
             }
-            Instr::Ld { addr, .. } => {
-                if !out.contains(&addr.base) {
-                    out.push(addr.base);
-                }
-            }
+            Instr::Ld { addr, .. } => out.push(addr.base),
             Instr::St { src, addr, .. } => {
                 push(src);
-                if !out.contains(&addr.base) {
-                    out.push(addr.base);
-                }
+                out.push(addr.base);
             }
             Instr::Special { .. }
             | Instr::Param { .. }
@@ -273,6 +267,60 @@ impl Instruction {
     /// Whether this instruction is a memory access (any space).
     pub fn is_mem(&self) -> bool {
         matches!(self.op, Instr::Ld { .. } | Instr::St { .. })
+    }
+}
+
+/// The source registers of one instruction, stored inline (no instruction
+/// reads more than three). Dereferences to a slice, so call sites use the
+/// usual `iter()`/`contains()` vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrcRegs {
+    regs: [Reg; 3],
+    len: u8,
+}
+
+impl SrcRegs {
+    fn new() -> Self {
+        SrcRegs {
+            regs: [Reg(0); 3],
+            len: 0,
+        }
+    }
+
+    /// Appends `r` unless already present (operand-order dedup).
+    fn push(&mut self, r: Reg) {
+        if !self.as_slice().contains(&r) {
+            self.regs[self.len as usize] = r;
+            self.len += 1;
+        }
+    }
+
+    /// The registers as a slice.
+    pub fn as_slice(&self) -> &[Reg] {
+        &self.regs[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for SrcRegs {
+    type Target = [Reg];
+    fn deref(&self) -> &[Reg] {
+        self.as_slice()
+    }
+}
+
+impl IntoIterator for SrcRegs {
+    type Item = Reg;
+    type IntoIter = std::iter::Take<std::array::IntoIter<Reg, 3>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.regs.into_iter().take(self.len as usize)
+    }
+}
+
+impl<'a> IntoIterator for &'a SrcRegs {
+    type Item = &'a Reg;
+    type IntoIter = std::slice::Iter<'a, Reg>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 
@@ -376,11 +424,11 @@ mod tests {
     fn dst_and_src_regs() {
         let i = add(0, 1, 2);
         assert_eq!(i.dst_reg(), Some(Reg(0)));
-        assert_eq!(i.src_regs(), vec![Reg(1), Reg(2)]);
+        assert_eq!(i.src_regs().as_slice(), [Reg(1), Reg(2)]);
 
         // Duplicate sources are deduplicated.
         let i = add(0, 1, 1);
-        assert_eq!(i.src_regs(), vec![Reg(1)]);
+        assert_eq!(i.src_regs().as_slice(), [Reg(1)]);
 
         let st = Instruction::new(Instr::St {
             space: MemSpace::Global,
@@ -389,7 +437,7 @@ mod tests {
             width: AccessWidth::W4,
         });
         assert_eq!(st.dst_reg(), None);
-        assert_eq!(st.src_regs(), vec![Reg(3), Reg(4)]);
+        assert_eq!(st.src_regs().as_slice(), [Reg(3), Reg(4)]);
         assert!(st.is_mem());
     }
 
@@ -402,7 +450,7 @@ mod tests {
             b: Operand::Reg(Reg(2)),
             c: Operand::Reg(Reg(3)),
         });
-        assert_eq!(fma.src_regs(), vec![Reg(1), Reg(2), Reg(3)]);
+        assert_eq!(fma.src_regs().as_slice(), [Reg(1), Reg(2), Reg(3)]);
         let addc = Instruction::new(Instr::Alu {
             op: AluOp::IAdd,
             dst: Reg(0),
@@ -410,7 +458,7 @@ mod tests {
             b: Operand::Reg(Reg(2)),
             c: Operand::Reg(Reg(3)),
         });
-        assert_eq!(addc.src_regs(), vec![Reg(1), Reg(2)]);
+        assert_eq!(addc.src_regs().as_slice(), [Reg(1), Reg(2)]);
     }
 
     #[test]

@@ -18,7 +18,7 @@ pub const MAX_THREADS_PER_CTA: u32 = 1024;
 /// register/shared-memory pressure of the original CUDA kernels.
 #[derive(Debug, Clone)]
 pub struct KernelDescriptor {
-    name: String,
+    name: Arc<str>,
     program: Arc<Program>,
     grid: Dim2,
     block: Dim2,
@@ -95,6 +95,13 @@ impl KernelDescriptor {
     /// The kernel's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The kernel's name as a shared, refcounted string. Consumers that
+    /// retain the name long-term (telemetry events, per-kernel stats)
+    /// clone the `Arc` instead of allocating a fresh `String` each time.
+    pub fn name_shared(&self) -> Arc<str> {
+        Arc::clone(&self.name)
     }
 
     /// The program executed by every thread.
@@ -228,9 +235,10 @@ impl KernelDescriptorBuilder {
             });
         }
         Ok(KernelDescriptor {
-            name: self
-                .name
-                .unwrap_or_else(|| self.program.name().to_string()),
+            name: match self.name {
+                Some(name) => Arc::from(name),
+                None => Arc::from(self.program.name()),
+            },
             program: self.program,
             grid: self.grid,
             block: self.block,

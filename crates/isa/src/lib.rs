@@ -58,7 +58,7 @@ pub mod sem;
 mod types;
 
 pub use builder::{KernelBuilder, Label};
-pub use instr::{AddrExpr, Guard, Instr, Instruction};
+pub use instr::{AddrExpr, Guard, Instr, Instruction, SrcRegs};
 pub use kernel::{KernelDescriptor, KernelDescriptorBuilder, KernelError};
 pub use kernel::MAX_THREADS_PER_CTA;
 pub use program::{exit_only, Program, ProgramError, ProgramStats};

@@ -308,6 +308,21 @@ impl DramChannel {
         self.queue.is_empty() && self.in_flight.is_empty()
     }
 
+    /// The earliest cycle `>= now` at which ticking this channel does
+    /// something (a completion fires, or a queued request finds its bank
+    /// free), or `None` when it is quiesced. Conservative but never later
+    /// than the true next event.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = Cycle::MAX;
+        for f in &self.in_flight {
+            next = next.min(f.completion.max(now));
+        }
+        for q in &self.queue {
+            next = next.min(self.banks[q.bank as usize].busy_until.max(now));
+        }
+        (next != Cycle::MAX).then_some(next)
+    }
+
     /// Current queue occupancy.
     pub fn queue_len(&self) -> usize {
         self.queue.len()

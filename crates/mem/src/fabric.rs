@@ -286,6 +286,38 @@ impl MemFabric {
         self.resp_xbar.pop_delivered(core)
     }
 
+    /// The earliest cycle `>= now` at which ticking the fabric can change
+    /// state (or deliver a response), or `None` when everything is
+    /// quiesced. Conservative — it may name a cycle where nothing visible
+    /// happens, but it never skips past one. Retry loops that mutate
+    /// statistics on every attempt (stalled L2 accesses, staged DRAM
+    /// submissions) pin the next event to `now` so no retry cycle is ever
+    /// skipped.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = Cycle::MAX;
+        for p in &self.partitions {
+            // These retry every tick and bump failure counters as they do,
+            // so skipping any cycle while they are pending would change
+            // observable stats.
+            if p.stalled.is_some() || p.to_dram.is_some() || p.l2.has_downstream() {
+                return Some(now);
+            }
+            if let Some(&(ready, _, _)) = p.responses.front() {
+                next = next.min(ready.max(now));
+            }
+            if let Some(t) = p.dram.next_event(now) {
+                next = next.min(t);
+            }
+        }
+        if let Some(t) = self.req_xbar.next_event(now) {
+            next = next.min(t);
+        }
+        if let Some(t) = self.resp_xbar.next_event(now) {
+            next = next.min(t);
+        }
+        (next != Cycle::MAX).then_some(next)
+    }
+
     /// Whether nothing is in flight anywhere in the fabric.
     pub fn quiesced(&self) -> bool {
         self.ctx.is_empty()

@@ -202,6 +202,28 @@ impl<T> Crossbar<T> {
             && self.delivered.iter().all(VecDeque::is_empty)
     }
 
+    /// The earliest cycle `>= now` at which this crossbar either changes
+    /// state when ticked or has output waiting for a consumer, or `None`
+    /// when it is quiesced. Conservative: may return a cycle at which
+    /// nothing happens (rotating arbitration makes the exact start cycle
+    /// of a queued packet priority-dependent), but never skips past one.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = Cycle::MAX;
+        if self.delivered.iter().any(|q| !q.is_empty()) {
+            return Some(now);
+        }
+        for p in &self.traversing {
+            next = next.min(p.arrival.max(now));
+        }
+        for (src, q) in self.queues.iter().enumerate() {
+            if let Some(head) = q.front() {
+                let start = self.in_free[src].max(self.out_free[head.dst]).max(now);
+                next = next.min(start);
+            }
+        }
+        (next != Cycle::MAX).then_some(next)
+    }
+
     /// Lifetime counters.
     pub fn stats(&self) -> &XbarStats {
         &self.stats

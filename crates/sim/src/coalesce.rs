@@ -11,7 +11,40 @@
 
 use crate::simt::LaneMask;
 use gpgpu_isa::WARP_SIZE;
-use std::collections::BTreeSet;
+
+/// The line transactions one warp access coalesces into: at most two lines
+/// per lane (when an access straddles a line boundary), held inline so the
+/// issue path never touches the heap.
+#[derive(Debug, Clone, Copy)]
+pub struct LineSet {
+    lines: [u64; 2 * WARP_SIZE],
+    len: u8,
+}
+
+impl LineSet {
+    /// The distinct line addresses, ascending.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.lines[..self.len as usize]
+    }
+
+    /// Number of distinct lines.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no lane produced a transaction.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl<'a> IntoIterator for &'a LineSet {
+    type Item = &'a u64;
+    type IntoIter = std::slice::Iter<'a, u64>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
 
 /// Coalesces the active lanes' byte addresses into distinct line
 /// transactions. Returns line-aligned addresses in ascending order
@@ -24,21 +57,36 @@ pub fn coalesce(
     mask: LaneMask,
     width: u64,
     line_bytes: u64,
-) -> Vec<u64> {
+) -> LineSet {
     debug_assert!(line_bytes.is_power_of_two());
-    let mut lines = BTreeSet::new();
+    let mut buf = [0u64; 2 * WARP_SIZE];
+    let mut n = 0;
     for lane in 0..WARP_SIZE {
         if mask & (1 << lane) == 0 {
             continue;
         }
         let first = addrs[lane] & !(line_bytes - 1);
         let last = (addrs[lane] + width - 1) & !(line_bytes - 1);
-        lines.insert(first);
+        buf[n] = first;
+        n += 1;
         if last != first {
-            lines.insert(last);
+            buf[n] = last;
+            n += 1;
         }
     }
-    lines.into_iter().collect()
+    buf[..n].sort_unstable();
+    // Dedup in place (reads stay ahead of writes).
+    let mut m = 0;
+    for i in 0..n {
+        if m == 0 || buf[m - 1] != buf[i] {
+            buf[m] = buf[i];
+            m += 1;
+        }
+    }
+    LineSet {
+        lines: buf,
+        len: m as u8,
+    }
 }
 
 /// Number of shared-memory banks (Fermi: 32, 4 bytes wide).
@@ -51,16 +99,36 @@ pub const SHARED_BANK_BYTES: u64 = 4;
 /// address in that bank. Identical addresses broadcast in one pass.
 /// Returns 0 when no lane is active.
 pub fn shared_conflict_passes(addrs: &[u64; WARP_SIZE], mask: LaneMask) -> u32 {
-    let mut per_bank: [BTreeSet<u64>; 32] = Default::default();
+    // Collect the active lanes' word addresses, order them by (bank, word),
+    // then count the longest run of distinct words within one bank — all on
+    // the stack, since this runs on the issue hot path.
+    let mut words = [0u64; WARP_SIZE];
+    let mut n = 0;
     for lane in 0..WARP_SIZE {
         if mask & (1 << lane) == 0 {
             continue;
         }
-        let word = addrs[lane] / SHARED_BANK_BYTES;
-        let bank = (word % SHARED_BANKS) as usize;
-        per_bank[bank].insert(word);
+        words[n] = addrs[lane] / SHARED_BANK_BYTES;
+        n += 1;
     }
-    per_bank.iter().map(|s| s.len() as u32).max().unwrap_or(0)
+    let words = &mut words[..n];
+    words.sort_unstable_by_key(|&w| (w % SHARED_BANKS, w));
+    let mut max = 0u32;
+    let mut run = 0u32;
+    let mut prev = None;
+    for &w in words.iter() {
+        match prev {
+            Some(p) if p % SHARED_BANKS == w % SHARED_BANKS => {
+                if p != w {
+                    run += 1;
+                }
+            }
+            _ => run = 1,
+        }
+        prev = Some(w);
+        max = max.max(run);
+    }
+    max
 }
 
 #[cfg(test)]
@@ -75,21 +143,21 @@ mod tests {
     fn unit_stride_coalesces_to_one_line() {
         let a = addrs_from(|l| 0x1000 + 4 * l as u64);
         let lines = coalesce(&a, u32::MAX, 4, 128);
-        assert_eq!(lines, vec![0x1000]);
+        assert_eq!(lines.as_slice(), &[0x1000]);
     }
 
     #[test]
     fn unit_stride_u64_spans_two_lines() {
         let a = addrs_from(|l| 0x1000 + 8 * l as u64);
         let lines = coalesce(&a, u32::MAX, 8, 128);
-        assert_eq!(lines, vec![0x1000, 0x1080]);
+        assert_eq!(lines.as_slice(), &[0x1000, 0x1080]);
     }
 
     #[test]
     fn misaligned_warp_touches_two_lines() {
         let a = addrs_from(|l| 0x1010 + 4 * l as u64);
         let lines = coalesce(&a, u32::MAX, 4, 128);
-        assert_eq!(lines, vec![0x1000, 0x1080]);
+        assert_eq!(lines.as_slice(), &[0x1000, 0x1080]);
     }
 
     #[test]
@@ -103,7 +171,7 @@ mod tests {
     fn inactive_lanes_ignored() {
         let a = addrs_from(|l| 128 * l as u64);
         let lines = coalesce(&a, 0b1, 4, 128);
-        assert_eq!(lines, vec![0]);
+        assert_eq!(lines.as_slice(), &[0]);
         assert!(coalesce(&a, 0, 4, 128).is_empty());
     }
 
@@ -112,14 +180,14 @@ mod tests {
         let mut a = [0u64; WARP_SIZE];
         a[0] = 126; // 4-byte access crossing the 128B boundary
         let lines = coalesce(&a, 0b1, 4, 128);
-        assert_eq!(lines, vec![0, 128]);
+        assert_eq!(lines.as_slice(), &[0, 128]);
     }
 
     #[test]
     fn same_line_lanes_merge() {
         let a = addrs_from(|_| 0x2004);
         let lines = coalesce(&a, u32::MAX, 4, 128);
-        assert_eq!(lines, vec![0x2000]);
+        assert_eq!(lines.as_slice(), &[0x2000]);
     }
 
     #[test]

@@ -24,7 +24,7 @@ use gpgpu_mem::{
     cache::DownstreamKind, Access, AccessKind, Cache, Cycle, MemFabric, MemRequest, MemResponse,
     ReqId,
 };
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Per-core issue/stall statistics.
@@ -109,6 +109,10 @@ struct Txn {
     is_store: bool,
 }
 
+/// One in-flight tracked load, stored in a slab indexed by its token.
+/// A slot is free (and its token reusable) once `remaining` reaches 0:
+/// every line transaction produces exactly one `LoadPartDone`, so no
+/// event can reference a retired token.
 #[derive(Debug, Clone, Copy)]
 struct LoadTrack {
     warp: usize,
@@ -116,13 +120,24 @@ struct LoadTrack {
     remaining: u32,
 }
 
-/// Why a resident warp cannot issue this cycle (diagnostics/tests).
+/// Memoized readiness verdict for one warp slot. A warp's scoreboard
+/// outcome only changes through its own issue or an unblocking event
+/// (writeback, load completion, barrier release, dispatch into the
+/// slot), so between those the per-cycle scan can reuse the verdict.
+/// Structural resources (LSQ space, shared pipe) are shared state and
+/// are re-checked fresh on every scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum NotReady {
-    Barrier,
-    Scoreboard,
-    Structural,
-    Finished,
+enum ReadyState {
+    /// No cached verdict; run the full readiness check.
+    Unknown,
+    /// Blocked for a warp-local reason (scoreboard, barrier, finished).
+    Blocked,
+    /// Ready, with no structural dependence.
+    Ready,
+    /// Scoreboard passed; issues iff the LSQ has space.
+    ReadyMemGlobal,
+    /// Scoreboard passed; issues iff the shared-memory pipe is free.
+    ReadyMemShared,
 }
 
 /// One streaming multiprocessor.
@@ -140,19 +155,56 @@ pub struct Core {
     l1: Cache,
     lsq: VecDeque<Txn>,
     staged_downstream: Option<gpgpu_mem::cache::Downstream>,
-    load_tracks: BTreeMap<u64, LoadTrack>,
-    txn_wait: BTreeMap<ReqId, u64>,
-    fill_wait: BTreeMap<ReqId, u64>,
-    next_token: u64,
+    /// Slab of in-flight tracked loads; a load's token is its slot index.
+    load_slab: Vec<LoadTrack>,
+    /// Free slots of `load_slab`, reused LIFO.
+    load_free: Vec<u32>,
+    /// Occupied slots of `load_slab` (slab length minus free list).
+    live_loads: usize,
+    /// Load transactions waiting on an L1 MSHR fill, `(txn id, token)`.
+    /// Linear-scanned: bounded by the MSHR count, so scans stay tiny.
+    txn_wait: Vec<(ReqId, u64)>,
+    /// Outstanding downstream fetches, `(request id, line address)`.
+    fill_wait: Vec<(ReqId, u64)>,
     next_req: u64,
-    wb_events: BTreeMap<Cycle, Vec<WbEvent>>,
+    /// Writeback timer wheel: `wb_wheel[t & wb_mask]` holds the events of
+    /// cycle `t`. The wheel is sized past the longest writeback delay, so
+    /// buckets never alias; drained buckets keep their capacity.
+    wb_wheel: Vec<Vec<WbEvent>>,
+    wb_mask: usize,
+    /// Events currently on the wheel.
+    wb_pending: usize,
+    /// Earliest cycle with a pending event (`Cycle::MAX` when empty).
+    wb_next: Cycle,
     /// Warp slots that finished while the schedulers were detached for
     /// the issue stage; they are notified right after.
     finished_warps: Vec<usize>,
     shared_pipe_free: Cycle,
     stats: CoreStats,
-    issued_per_kernel: BTreeMap<KernelId, u64>,
-    completed_per_kernel: BTreeMap<KernelId, u64>,
+    issued_per_kernel: Vec<u64>,
+    completed_per_kernel: Vec<u64>,
+    /// Persistent scratch for the issue stage (candidate list handed to
+    /// the warp scheduler), reused so steady-state cycles do not allocate.
+    scratch_candidates: Vec<usize>,
+    /// Persistent ready-warp bitmask (one bit per warp slot), rebuilt per
+    /// scheduler each cycle and used to validate the scheduler's pick.
+    ready_mask: Vec<u64>,
+    /// Whether the most recent issue stage found any ready warp. Lets
+    /// [`quiet_wake`](Self::quiet_wake) reuse the issue stage's readiness
+    /// scan instead of repeating it; only meaningful immediately after
+    /// [`cycle`](Self::cycle) for the same cycle.
+    had_ready_warp: bool,
+    /// Per-slot readiness memo (see [`ReadyState`]). Reset to `Unknown`
+    /// on every event that can change the warp-local verdict: the warp
+    /// issuing, a writeback landing in the slot, a tracked load
+    /// completing, a barrier release, or a new warp dispatched into the
+    /// slot.
+    ready_state: Vec<ReadyState>,
+    /// One bit per warp slot, set while a warp is resident. The issue
+    /// scan reads this (and `ready_state`) instead of poking the fat
+    /// `Option<Warp>` array — the steady-state scan then touches two
+    /// cache lines instead of one per slot.
+    occupied_mask: Vec<u64>,
 }
 
 impl std::fmt::Debug for Core {
@@ -171,6 +223,18 @@ impl Core {
         let schedulers = (0..cfg.num_sched_per_core as usize)
             .map(|s| factory.create(id, s))
             .collect();
+        // The wheel must outspan the longest writeback delay so a bucket
+        // never holds events of two different cycles at once. Shared-memory
+        // ops replay up to WARP_SIZE bank-conflict passes on top of their
+        // base latency.
+        let max_wb_delay = cfg
+            .int_latency
+            .max(cfg.fp_latency)
+            .max(cfg.sfu_latency)
+            .max(cfg.l1_latency)
+            .max(cfg.shared_latency + WARP_SIZE as u32 - 1);
+        let wheel_size = (max_wb_delay as usize + 2).next_power_of_two();
+        let ready_words = (cfg.max_warps_per_core as usize).div_ceil(64);
         Core {
             id,
             cta_slots: (0..cfg.max_ctas_per_core as usize).map(|_| None).collect(),
@@ -184,17 +248,26 @@ impl Core {
             l1: Cache::new(cfg.l1.clone()),
             lsq: VecDeque::new(),
             staged_downstream: None,
-            load_tracks: BTreeMap::new(),
-            txn_wait: BTreeMap::new(),
-            fill_wait: BTreeMap::new(),
-            next_token: 0,
+            load_slab: Vec::new(),
+            load_free: Vec::new(),
+            live_loads: 0,
+            txn_wait: Vec::new(),
+            fill_wait: Vec::new(),
             next_req: 0,
-            wb_events: BTreeMap::new(),
+            wb_wheel: (0..wheel_size).map(|_| Vec::new()).collect(),
+            wb_mask: wheel_size - 1,
+            wb_pending: 0,
+            wb_next: Cycle::MAX,
             finished_warps: Vec::new(),
             shared_pipe_free: 0,
             stats: CoreStats::default(),
-            issued_per_kernel: BTreeMap::new(),
-            completed_per_kernel: BTreeMap::new(),
+            issued_per_kernel: Vec::new(),
+            completed_per_kernel: Vec::new(),
+            scratch_candidates: Vec::new(),
+            ready_mask: vec![0; ready_words],
+            had_ready_warp: false,
+            ready_state: vec![ReadyState::Unknown; cfg.max_warps_per_core as usize],
+            occupied_mask: vec![0; ready_words],
             cfg,
         }
     }
@@ -230,12 +303,12 @@ impl Core {
 
     /// CTAs of `kernel` completed on this core so far.
     pub fn completed_of(&self, kernel: KernelId) -> u64 {
-        self.completed_per_kernel.get(&kernel).copied().unwrap_or(0)
+        self.completed_per_kernel.get(kernel.0).copied().unwrap_or(0)
     }
 
     /// Instructions issued for `kernel` on this core.
     pub fn issued_of(&self, kernel: KernelId) -> u64 {
-        self.issued_per_kernel.get(&kernel).copied().unwrap_or(0)
+        self.issued_per_kernel.get(kernel.0).copied().unwrap_or(0)
     }
 
     /// How many additional CTAs of `desc` fit right now, considering CTA
@@ -305,6 +378,12 @@ impl Core {
         age: &mut u64,
     ) {
         assert!(self.capacity_for(desc) >= 1, "CTA does not fit on core");
+        // Grow the dense per-kernel counters once here so the per-issue
+        // and per-retire hot paths are plain indexed accesses.
+        if self.issued_per_kernel.len() <= kernel.0 {
+            self.issued_per_kernel.resize(kernel.0 + 1, 0);
+            self.completed_per_kernel.resize(kernel.0 + 1, 0);
+        }
         let slot = self
             .cta_slots
             .iter()
@@ -359,6 +438,8 @@ impl Core {
                 at_barrier: false,
             });
             self.warp_meta[w] = Some(meta);
+            self.ready_state[w] = ReadyState::Unknown;
+            self.occupied_mask[w >> 6] |= 1u64 << (w & 63);
             for s in &mut self.schedulers {
                 s.on_warp_start(w, &meta);
             }
@@ -395,16 +476,15 @@ impl Core {
 
     /// Handles a memory-fabric response (an L1 line fill).
     pub fn handle_response(&mut self, now: Cycle, resp: MemResponse) {
-        let Some(line) = self.fill_wait.remove(&resp.id) else {
+        let Some(i) = self.fill_wait.iter().position(|(id, _)| *id == resp.id) else {
             return; // not ours / already handled
         };
+        let (_, line) = self.fill_wait.swap_remove(i);
         let out = self.l1.fill(line, now);
         for txn_id in out.ready {
-            if let Some(token) = self.txn_wait.remove(&txn_id) {
-                self.wb_events
-                    .entry(now)
-                    .or_default()
-                    .push(WbEvent::LoadPartDone { token });
+            if let Some(i) = self.txn_wait.iter().position(|(id, _)| *id == txn_id) {
+                let (_, token) = self.txn_wait.swap_remove(i);
+                self.schedule_wb(now, WbEvent::LoadPartDone { token });
             }
         }
     }
@@ -428,7 +508,7 @@ impl Core {
     pub fn is_idle(&self) -> bool {
         self.cta_slots.iter().all(Option::is_none)
             && self.lsq.is_empty()
-            && self.load_tracks.is_empty()
+            && self.live_loads == 0
             && self.fill_wait.is_empty()
             && self.staged_downstream.is_none()
             && !self.l1.has_downstream()
@@ -437,6 +517,62 @@ impl Core {
     fn fresh_req_id(&mut self) -> ReqId {
         self.next_req += 1;
         ReqId(((self.id as u64) << 48) | self.next_req)
+    }
+
+    /// Enqueues a writeback event for cycle `t` on the timer wheel.
+    fn schedule_wb(&mut self, t: Cycle, ev: WbEvent) {
+        self.wb_wheel[(t as usize) & self.wb_mask].push(ev);
+        self.wb_pending += 1;
+        if t < self.wb_next {
+            self.wb_next = t;
+        }
+    }
+
+    /// Whether this core can do nothing at cycle `now` without external
+    /// input, and if so, the earliest future cycle its own state changes
+    /// (`Cycle::MAX` when it has no pending events at all). `None` means
+    /// the core is *not* quiet — it has memory work in flight or a warp
+    /// that could issue — so cycles must not be skipped.
+    ///
+    /// Valid only immediately after [`cycle`](Self::cycle) for that same
+    /// `now`: it reuses the issue stage's readiness scan
+    /// (`had_ready_warp`) rather than repeating it. Readiness cannot
+    /// appear out of thin air afterwards — it only changes through
+    /// writebacks (capped by `wb_next`), the shared pipe draining (capped
+    /// by `shared_pipe_free`), or memory responses (capped by the
+    /// fabric's next event, checked by the caller).
+    pub(crate) fn quiet_wake(&mut self, now: Cycle) -> Option<Cycle> {
+        if self.had_ready_warp
+            || !self.lsq.is_empty()
+            || self.staged_downstream.is_some()
+            || self.l1.has_downstream()
+        {
+            return None;
+        }
+        let mut wake = self.wb_next;
+        if self.shared_pipe_free > now {
+            wake = wake.min(self.shared_pipe_free);
+        }
+        Some(wake)
+    }
+
+    /// Books the scheduler-slot statistics for `cycles` skipped quiet
+    /// cycles, exactly as the cycle-by-cycle loop would have: a scheduler
+    /// partition with resident warps (none ready, by the quiet check)
+    /// stalls, an empty one idles. Warp residency cannot change during
+    /// quiet cycles, so one scan covers the whole span.
+    pub(crate) fn account_skipped(&mut self, cycles: u64) {
+        let nsched = self.schedulers.len();
+        for s in 0..nsched {
+            let occupied = (s..self.warps.len())
+                .step_by(nsched)
+                .any(|slot| self.occupied_mask[slot >> 6] & (1u64 << (slot & 63)) != 0);
+            if occupied {
+                self.stats.stalled_slots += cycles;
+            } else {
+                self.stats.idle_slots += cycles;
+            }
+        }
     }
 
     /// Advances the core one cycle. Returns CTAs that retired.
@@ -452,38 +588,65 @@ impl Core {
     }
 
     fn process_writebacks(&mut self, now: Cycle) {
-        while let Some((&t, _)) = self.wb_events.first_key_value() {
-            if t > now {
-                break;
-            }
-            let (_, events) = self.wb_events.pop_first().expect("checked nonempty");
-            for ev in events {
-                match ev {
-                    WbEvent::Reg { warp, reg } => {
-                        if let Some(w) = self.warps[warp].as_mut() {
-                            w.pending_regs &= !(1u64 << reg);
+        if self.wb_next > now {
+            return;
+        }
+        // Drain every due bucket in cycle order. The wheel outspans the
+        // longest writeback delay and the drain is never more than one
+        // fast-forward jump behind `wb_next`, so buckets cannot alias.
+        let mut t = self.wb_next;
+        while t <= now {
+            let idx = (t as usize) & self.wb_mask;
+            if !self.wb_wheel[idx].is_empty() {
+                let mut events = std::mem::take(&mut self.wb_wheel[idx]);
+                self.wb_pending -= events.len();
+                for ev in events.drain(..) {
+                    match ev {
+                        WbEvent::Reg { warp, reg } => {
+                            if let Some(w) = self.warps[warp].as_mut() {
+                                w.pending_regs &= !(1u64 << reg);
+                                self.ready_state[warp] = ReadyState::Unknown;
+                            }
                         }
-                    }
-                    WbEvent::Pred { warp, pred } => {
-                        if let Some(w) = self.warps[warp].as_mut() {
-                            w.pending_preds &= !(1u8 << pred);
+                        WbEvent::Pred { warp, pred } => {
+                            if let Some(w) = self.warps[warp].as_mut() {
+                                w.pending_preds &= !(1u8 << pred);
+                                self.ready_state[warp] = ReadyState::Unknown;
+                            }
                         }
-                    }
-                    WbEvent::LoadPartDone { token } => {
-                        let Some(track) = self.load_tracks.get_mut(&token) else {
-                            continue;
-                        };
-                        track.remaining -= 1;
-                        if track.remaining == 0 {
-                            let track = self.load_tracks.remove(&token).expect("present");
-                            if let Some(w) = self.warps[track.warp].as_mut() {
-                                w.pending_regs &= !(1u64 << track.reg);
-                                w.outstanding_loads -= 1;
+                        WbEvent::LoadPartDone { token } => {
+                            let track = &mut self.load_slab[token as usize];
+                            debug_assert!(track.remaining > 0, "event for retired token");
+                            track.remaining -= 1;
+                            if track.remaining == 0 {
+                                let (warp, reg) = (track.warp, track.reg);
+                                self.load_free.push(token as u32);
+                                self.live_loads -= 1;
+                                if let Some(w) = self.warps[warp].as_mut() {
+                                    w.pending_regs &= !(1u64 << reg);
+                                    w.outstanding_loads -= 1;
+                                    self.ready_state[warp] = ReadyState::Unknown;
+                                }
                             }
                         }
                     }
                 }
+                // Hand the drained buffer back so its capacity is reused.
+                self.wb_wheel[idx] = events;
             }
+            t += 1;
+        }
+        // Recompute the next pending cycle by scanning forward one wheel
+        // revolution (only reachable buckets can hold events).
+        self.wb_next = Cycle::MAX;
+        if self.wb_pending > 0 {
+            for dt in 1..=(self.wb_mask as u64 + 1) {
+                if !self.wb_wheel[((now + dt) as usize) & self.wb_mask].is_empty() {
+                    self.wb_next = now + dt;
+                    break;
+                }
+            }
+            debug_assert!(self.wb_next != Cycle::MAX, "pending events must be findable");
         }
     }
 
@@ -501,16 +664,14 @@ impl Core {
             match self.l1.access(txn.line, kind, id, now) {
                 Access::Hit => {
                     if let Some(token) = txn.token {
-                        self.wb_events
-                            .entry(now + u64::from(self.cfg.l1_latency))
-                            .or_default()
-                            .push(WbEvent::LoadPartDone { token });
+                        let t = now + u64::from(self.cfg.l1_latency);
+                        self.schedule_wb(t, WbEvent::LoadPartDone { token });
                     }
                     self.lsq.pop_front();
                 }
                 Access::Miss | Access::MissMerged => {
                     if let Some(token) = txn.token {
-                        self.txn_wait.insert(txn.id, token);
+                        self.txn_wait.push((txn.id, token));
                     }
                     self.lsq.pop_front();
                 }
@@ -546,7 +707,7 @@ impl Core {
             };
             if fabric.try_submit(now, req) {
                 if matches!(d.kind, DownstreamKind::Fetch) {
-                    self.fill_wait.insert(id, d.addr);
+                    self.fill_wait.push((id, d.addr));
                 }
                 self.staged_downstream = None;
             } else {
@@ -555,19 +716,22 @@ impl Core {
         }
     }
 
-    /// Whether the warp in `slot` could issue its next instruction now.
-    fn readiness(&mut self, slot: usize, now: Cycle) -> Result<(), NotReady> {
-        let lsq_cap = self.cfg.ldst_queue_len;
-        let lsq_len = self.lsq.len();
-        let shared_free = self.shared_pipe_free <= now;
+    /// Computes the warp-local readiness verdict for `slot`: whether the
+    /// scoreboard, barrier, and SIMT-stack state let its next instruction
+    /// issue. Structural hazards (LSQ space, shared pipe) are *not*
+    /// folded in — they depend on shared state, so the issue stage checks
+    /// them fresh against the returned `ReadyMem*` class each cycle. The
+    /// verdict is cacheable until the warp issues or an unblocking event
+    /// hits the slot.
+    fn readiness(&mut self, slot: usize) -> ReadyState {
         let Some(w) = self.warps[slot].as_mut() else {
-            return Err(NotReady::Finished);
+            return ReadyState::Blocked;
         };
         if w.at_barrier {
-            return Err(NotReady::Barrier);
+            return ReadyState::Blocked;
         }
         let Some((pc, _mask)) = w.stack.sync(w.exited) else {
-            return Err(NotReady::Finished);
+            return ReadyState::Blocked;
         };
         let ins = *w.desc.program().fetch(pc);
         // Scoreboard: sources, destination, and involved predicates.
@@ -575,75 +739,90 @@ impl Core {
         let pred_pending = |p: gpgpu_isa::Pred| w.pending_preds & (1u8 << p.0) != 0;
         if let Some(g) = ins.guard {
             if pred_pending(g.pred) {
-                return Err(NotReady::Scoreboard);
+                return ReadyState::Blocked;
             }
         }
         if ins.src_regs().iter().any(|r| reg_pending(*r)) {
-            return Err(NotReady::Scoreboard);
+            return ReadyState::Blocked;
         }
         if let Some(d) = ins.dst_reg() {
             if reg_pending(d) {
-                return Err(NotReady::Scoreboard);
+                return ReadyState::Blocked;
             }
         }
         match &ins.op {
             Instr::SetP { dst, .. } => {
                 if pred_pending(*dst) {
-                    return Err(NotReady::Scoreboard);
+                    return ReadyState::Blocked;
                 }
             }
             Instr::PBool { dst, a, b, .. } => {
                 if pred_pending(*dst) || pred_pending(*a) || pred_pending(*b) {
-                    return Err(NotReady::Scoreboard);
+                    return ReadyState::Blocked;
                 }
             }
             Instr::Sel { pred, .. } => {
                 if pred_pending(*pred) {
-                    return Err(NotReady::Scoreboard);
+                    return ReadyState::Blocked;
                 }
             }
             Instr::BraCond { pred, .. } => {
                 if pred_pending(*pred) {
-                    return Err(NotReady::Scoreboard);
+                    return ReadyState::Blocked;
                 }
             }
             Instr::Exit => {
                 if w.pending_regs != 0 || w.pending_preds != 0 || w.outstanding_loads != 0 {
-                    return Err(NotReady::Scoreboard);
+                    return ReadyState::Blocked;
                 }
             }
             _ => {}
         }
-        // Structural hazards.
         match ins.exec_class() {
-            ExecClass::MemGlobal => {
-                if lsq_len >= lsq_cap {
-                    return Err(NotReady::Structural);
-                }
-            }
-            ExecClass::MemShared => {
-                if !shared_free {
-                    return Err(NotReady::Structural);
-                }
-            }
-            _ => {}
+            ExecClass::MemGlobal => ReadyState::ReadyMemGlobal,
+            ExecClass::MemShared => ReadyState::ReadyMemShared,
+            _ => ReadyState::Ready,
         }
-        Ok(())
     }
 
-    /// The per-scheduler issue stage.
+    /// The per-scheduler issue stage. Steady-state cycles run entirely on
+    /// persistent scratch buffers (candidate list, ready bitmask) — no
+    /// per-cycle allocation.
     fn issue(&mut self, now: Cycle, gmem: &mut GlobalMem) -> Vec<CoreCtaCompletion> {
         let mut completions = Vec::new();
         let nsched = self.schedulers.len();
         let mut schedulers = std::mem::take(&mut self.schedulers);
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        let mut ready = std::mem::take(&mut self.ready_mask);
+        self.had_ready_warp = false;
         for (s, sched) in schedulers.iter_mut().enumerate() {
             let mut occupied_any = false;
-            let mut candidates = Vec::new();
+            candidates.clear();
+            ready.fill(0);
+            // Structural resources are re-read per scheduler: the
+            // previous scheduler's issue may have consumed them.
+            let lsq_has_space = self.lsq.len() < self.cfg.ldst_queue_len;
+            let shared_free = self.shared_pipe_free <= now;
             for slot in (s..self.warps.len()).step_by(nsched) {
-                if self.warps[slot].is_some() {
+                if self.occupied_mask[slot >> 6] & (1u64 << (slot & 63)) != 0 {
                     occupied_any = true;
-                    if self.readiness(slot, now).is_ok() {
+                    let state = match self.ready_state[slot] {
+                        ReadyState::Unknown => {
+                            let st = self.readiness(slot);
+                            self.ready_state[slot] = st;
+                            st
+                        }
+                        st => st,
+                    };
+                    let ready_now = match state {
+                        ReadyState::Ready => true,
+                        ReadyState::ReadyMemGlobal => lsq_has_space,
+                        ReadyState::ReadyMemShared => shared_free,
+                        ReadyState::Blocked | ReadyState::Unknown => false,
+                    };
+                    if ready_now {
                         candidates.push(slot);
+                        ready[slot >> 6] |= 1u64 << (slot & 63);
                     }
                 }
             }
@@ -655,18 +834,28 @@ impl Core {
                 self.stats.stalled_slots += 1;
                 continue;
             }
+            self.had_ready_warp = true;
             let view = IssueView::new(now, self.id, &self.warp_meta);
             let picked = sched.pick(&view, &candidates);
-            let Some(slot) = picked.filter(|p| candidates.contains(p)) else {
+            // Validate the pick against the ready bitmask (O(1), vs. a
+            // linear scan of the candidate list).
+            let Some(slot) =
+                picked.filter(|&p| p >> 6 < ready.len() && ready[p >> 6] & (1u64 << (p & 63)) != 0)
+            else {
                 self.stats.stalled_slots += 1;
                 continue;
             };
             sched.on_issue(slot);
             self.stats.issued_slots += 1;
+            // Issuing advances the warp's pc and scoreboard state: its
+            // cached verdict is stale.
+            self.ready_state[slot] = ReadyState::Unknown;
             if let Some(c) = self.execute_one(slot, now, gmem) {
                 completions.push(c);
             }
         }
+        self.ready_mask = ready;
+        self.scratch_candidates = candidates;
         self.schedulers = schedulers;
         for slot in std::mem::take(&mut self.finished_warps) {
             for s in &mut self.schedulers {
@@ -691,16 +880,22 @@ impl Core {
             cta_slots,
             warp_meta,
             lsq,
-            wb_events,
-            load_tracks,
-            next_token,
+            wb_wheel,
+            wb_mask,
+            wb_pending,
+            wb_next,
+            load_slab,
+            load_free,
+            live_loads,
             next_req,
             shared_pipe_free,
             stats,
             issued_per_kernel,
+            ready_state,
             id: core_id,
             ..
         } = self;
+        let wb_mask = *wb_mask;
         let w = warps[slot].as_mut().expect("warp present");
         let (pc, mask) = w.stack.sync(w.exited).expect("ready warp has a pc");
         let ins = *w.desc.program().fetch(pc);
@@ -714,9 +909,10 @@ impl Core {
             None => mask,
         };
 
-        // Statistics.
+        // Statistics. The per-kernel vector was grown at dispatch time, so
+        // the hot path is a plain indexed increment.
         stats.issued += 1;
-        *issued_per_kernel.entry(w.kernel).or_insert(0) += 1;
+        issued_per_kernel[w.kernel.0] += 1;
         if let Some(m) = warp_meta[slot].as_mut() {
             m.issued += 1;
         }
@@ -731,12 +927,25 @@ impl Core {
         };
         let lanes = |m: LaneMask| (0..WARP_SIZE).filter(move |l| m & (1 << l) != 0);
 
+        macro_rules! schedule_wb {
+            ($t:expr, $ev:expr) => {{
+                let t: Cycle = $t;
+                wb_wheel[(t as usize) & wb_mask].push($ev);
+                *wb_pending += 1;
+                if t < *wb_next {
+                    *wb_next = t;
+                }
+            }};
+        }
         macro_rules! schedule_reg_wb {
             ($t:expr, $reg:expr) => {
-                wb_events.entry($t).or_default().push(WbEvent::Reg {
-                    warp: slot,
-                    reg: $reg,
-                })
+                schedule_wb!(
+                    $t,
+                    WbEvent::Reg {
+                        warp: slot,
+                        reg: $reg,
+                    }
+                )
             };
         }
 
@@ -793,10 +1002,10 @@ impl Core {
                 }
                 w.preds[dst.0 as usize] = pv;
                 w.pending_preds |= 1u8 << dst.0;
-                wb_events
-                    .entry(now + u64::from(cfg.int_latency))
-                    .or_default()
-                    .push(WbEvent::Pred { warp: slot, pred: dst.0 });
+                schedule_wb!(
+                    now + u64::from(cfg.int_latency),
+                    WbEvent::Pred { warp: slot, pred: dst.0 }
+                );
                 w.stack.advance();
             }
             Instr::PBool { dst, op, a, b } => {
@@ -813,10 +1022,10 @@ impl Core {
                 }
                 w.preds[dst.0 as usize] = pv;
                 w.pending_preds |= 1u8 << dst.0;
-                wb_events
-                    .entry(now + u64::from(cfg.int_latency))
-                    .or_default()
-                    .push(WbEvent::Pred { warp: slot, pred: dst.0 });
+                schedule_wb!(
+                    now + u64::from(cfg.int_latency),
+                    WbEvent::Pred { warp: slot, pred: dst.0 }
+                );
                 w.stack.advance();
             }
             Instr::Sel { dst, pred, a, b } => {
@@ -858,6 +1067,7 @@ impl Core {
                         if let Some(other) = warps_get_mut(warps, ws, slot) {
                             other.at_barrier = false;
                         }
+                        ready_state[ws] = ReadyState::Unknown;
                     }
                     // `warps_get_mut` cannot hand back `slot` itself, so
                     // clear it explicitly.
@@ -892,19 +1102,25 @@ impl Core {
                             schedule_reg_wb!(now + u64::from(cfg.int_latency), dst.0);
                         } else {
                             stats.gmem_transactions += lines.len() as u64;
-                            *next_token += 1;
-                            let token = *next_token;
-                            load_tracks.insert(
-                                token,
-                                LoadTrack {
-                                    warp: slot,
-                                    reg: dst.0,
-                                    remaining: lines.len() as u32,
-                                },
-                            );
+                            let track = LoadTrack {
+                                warp: slot,
+                                reg: dst.0,
+                                remaining: lines.len() as u32,
+                            };
+                            let token = match load_free.pop() {
+                                Some(i) => {
+                                    load_slab[i as usize] = track;
+                                    u64::from(i)
+                                }
+                                None => {
+                                    load_slab.push(track);
+                                    (load_slab.len() - 1) as u64
+                                }
+                            };
+                            *live_loads += 1;
                             w.pending_regs |= 1u64 << dst.0;
                             w.outstanding_loads += 1;
-                            for line in lines {
+                            for &line in &lines {
                                 *next_req += 1;
                                 lsq.push_back(Txn {
                                     id: ReqId(((*core_id as u64) << 48) | *next_req),
@@ -957,7 +1173,7 @@ impl Core {
                             u64::from(cfg.l1.line_bytes),
                         );
                         stats.gmem_transactions += lines.len() as u64;
-                        for line in lines {
+                        for &line in &lines {
                             *next_req += 1;
                             lsq.push_back(Txn {
                                 id: ReqId(((*core_id as u64) << 48) | *next_req),
@@ -1009,6 +1225,7 @@ impl Core {
     ) -> Option<CoreCtaCompletion> {
         self.warps[slot] = None;
         self.warp_meta[slot] = None;
+        self.occupied_mask[slot >> 6] &= !(1u64 << (slot & 63));
         self.finished_warps.push(slot);
         let release_slots = {
             let cta = self.cta_slots[cta_slot].as_mut().expect("cta present");
@@ -1029,6 +1246,7 @@ impl Core {
             for ws in release {
                 if let Some(w) = self.warps[ws].as_mut() {
                     w.at_barrier = false;
+                    self.ready_state[ws] = ReadyState::Unknown;
                 }
             }
             return None;
@@ -1049,13 +1267,12 @@ impl Core {
         self.used_regs -= cta.desc.regs_per_thread() * threads;
         self.used_smem -= cta.desc.smem_per_cta();
         self.stats.ctas_completed += 1;
-        let done = self.completed_per_kernel.entry(kernel).or_insert(0);
-        *done += 1;
+        self.completed_per_kernel[kernel.0] += 1;
         Some(CoreCtaCompletion {
             kernel,
             cta_id: cta.cta_id,
-            completed_on_core: *done,
-            core_kernel_issued: self.issued_per_kernel.get(&kernel).copied().unwrap_or(0),
+            completed_on_core: self.completed_per_kernel[kernel.0],
+            core_kernel_issued: self.issued_per_kernel[kernel.0],
             slot_snapshot: snapshot,
         })
     }

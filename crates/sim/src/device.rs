@@ -14,7 +14,19 @@ use gpgpu_isa::KernelDescriptor;
 use gpgpu_mem::{Cycle, MemFabric};
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Process-wide default for the idle fast-forward optimization (see
+/// [`GpuDevice::set_fast_forward`]). On by default; results are
+/// bit-identical either way.
+static FAST_FORWARD_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Sets the process-wide default for the idle fast-forward. Devices read
+/// the default at construction; already-built devices are unaffected.
+pub fn set_fast_forward_default(enabled: bool) {
+    FAST_FORWARD_DEFAULT.store(enabled, Ordering::Relaxed);
+}
 
 /// Why a run failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +102,22 @@ pub struct GpuDevice {
     age_counter: u64,
     last_progress: Cycle,
     last_issued_total: u64,
+    /// Kernels still in [`KernelPhase::Pending`]; lets the per-cycle
+    /// activation scan short-circuit to a counter check.
+    pending_kernels: usize,
+    /// Whether the CTA scheduler must be consulted this cycle. Set on
+    /// kernel activation, CTA completion, and any dispatch-round outcome
+    /// that could change later (a successful dispatch, a no-fit stop, a
+    /// malformed decision); cleared when the dispatch loop runs. A policy
+    /// that declines with unchanged device state is not re-asked, which is
+    /// behavior-preserving for any policy whose `select` mutates state
+    /// only when it returns a decision.
+    dispatch_dirty: bool,
+    /// Malformed scheduler decisions discarded (see
+    /// [`SimStats::malformed_dispatches`]).
+    malformed_dispatches: u64,
+    /// Idle fast-forward enabled (see [`set_fast_forward`](Self::set_fast_forward)).
+    fast_forward: bool,
     /// Attached telemetry; `None` (the default) keeps every hook a single
     /// branch on the fast path.
     telemetry: Option<Telemetry>,
@@ -133,9 +161,22 @@ impl GpuDevice {
             age_counter: 0,
             last_progress: 0,
             last_issued_total: 0,
+            pending_kernels: 0,
+            dispatch_dirty: false,
+            malformed_dispatches: 0,
+            fast_forward: FAST_FORWARD_DEFAULT.load(Ordering::Relaxed),
             telemetry: None,
             cfg,
         }
+    }
+
+    /// Enables or disables the idle fast-forward for this device. When
+    /// enabled (the default), [`run`](Self::run) jumps over provably-idle
+    /// cycle spans in one step; statistics, per-kernel results, and
+    /// telemetry are bit-identical either way. Disabling forces the
+    /// reference cycle-by-cycle loop (validation and debugging).
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
     }
 
     /// Attaches telemetry: interval samples and (if configured) trace
@@ -242,6 +283,7 @@ impl GpuDevice {
     fn launch_inner(&mut self, desc: KernelDescriptor, after: Option<KernelId>) -> KernelId {
         let id = KernelId(self.kernels.len());
         let desc = Arc::new(desc);
+        self.pending_kernels += 1;
         self.kernels.push(KernelState {
             desc,
             after,
@@ -260,6 +302,9 @@ impl GpuDevice {
     }
 
     fn activate_pending(&mut self) {
+        if self.pending_kernels == 0 {
+            return;
+        }
         for i in 0..self.kernels.len() {
             if self.kernels[i].phase != KernelPhase::Pending {
                 continue;
@@ -273,6 +318,8 @@ impl GpuDevice {
             }
             self.kernels[i].phase = KernelPhase::Running;
             self.kernels[i].start_cycle = self.now;
+            self.pending_kernels -= 1;
+            self.dispatch_dirty = true;
             let any_other_running = self
                 .kernels
                 .iter()
@@ -293,7 +340,7 @@ impl GpuDevice {
                     t.record(TraceEvent::KernelLaunch {
                         cycle: self.now,
                         kernel: KernelId(i),
-                        name: desc.name().to_string(),
+                        name: desc.name_shared(),
                         ctas: desc.cta_count(),
                     });
                 }
@@ -338,7 +385,17 @@ impl GpuDevice {
     }
 
     /// Runs the CTA scheduler until it stops dispatching this cycle.
+    ///
+    /// Event-gated: skipped entirely unless something that could change
+    /// the policy's answer happened since the last consultation (kernel
+    /// activation, CTA completion, or a prior round that dispatched or
+    /// stopped early). A steady-state cycle therefore never rebuilds the
+    /// [`KernelSummary`]/[`CoreDispatchInfo`] views.
     fn dispatch_ctas(&mut self) {
+        if !self.dispatch_dirty {
+            return;
+        }
+        self.dispatch_dirty = false;
         let mut cta_sched = self.cta_sched.take().expect("scheduler present");
         // Bounded by total CTA slots to guard against a policy that loops.
         let max_rounds = self.cores.len() * self.cfg.max_ctas_per_core as usize + 1;
@@ -353,16 +410,37 @@ impl GpuDevice {
                 break;
             };
             if d.core >= self.cores.len() || d.count == 0 {
-                break; // malformed decision; stop this round
+                // Malformed decision: discard, count, and re-consult next
+                // cycle (the ungated loop would have).
+                self.malformed_dispatches += 1;
+                self.dispatch_dirty = true;
+                debug_assert!(
+                    false,
+                    "malformed CTA dispatch: core {} (of {}), count {}",
+                    d.core,
+                    self.cores.len(),
+                    d.count
+                );
+                break;
             }
             let Some(ks) = kernels.iter().find(|k| k.id == d.kernel) else {
+                self.malformed_dispatches += 1;
+                self.dispatch_dirty = true;
+                debug_assert!(
+                    false,
+                    "CTA dispatch names unknown or undispatchable kernel {:?}",
+                    d.kernel
+                );
                 break;
             };
             let state = &self.kernels[d.kernel.0];
             let capacity = self.cores[d.core].capacity_for(&state.desc);
             let count = d.count.min(capacity).min(ks.remaining as u32);
             if count == 0 {
-                break; // does not fit; stop to avoid livelock
+                // Does not fit right now; core occupancy may change, so
+                // stay dirty and stop to avoid livelock.
+                self.dispatch_dirty = true;
+                break;
             }
             let desc = Arc::clone(&state.desc);
             if self.telemetry.as_ref().is_some_and(Telemetry::events_enabled) {
@@ -392,6 +470,9 @@ impl GpuDevice {
                     });
                 }
             }
+            // A successful dispatch changes occupancy: re-consult next
+            // cycle even if the policy then declines in this one.
+            self.dispatch_dirty = true;
         }
         self.cta_sched = Some(cta_sched);
     }
@@ -414,6 +495,9 @@ impl GpuDevice {
         self.fabric.tick(now);
 
         // Account completions and notify the CTA scheduler.
+        if !completions.is_empty() {
+            self.dispatch_dirty = true;
+        }
         let mut cta_sched = self.cta_sched.take().expect("scheduler present");
         for (core, c) in completions {
             let ev = CtaCompleteEvent {
@@ -499,9 +583,55 @@ impl GpuDevice {
                 self.last_progress = self.now;
             } else if self.now - self.last_progress > self.cfg.deadlock_cycles {
                 return Err(SimError::Deadlock { at: self.now });
+            } else if self.fast_forward {
+                self.fast_forward_idle(limit);
             }
         }
         Ok(())
+    }
+
+    /// Idle fast-forward: when no core can act at `now` without an
+    /// external event, jump straight to the earliest cycle at which
+    /// anything in the device can change, booking the skipped scheduler
+    /// slots exactly as the cycle-by-cycle loop would have.
+    ///
+    /// Bit-identity argument: a skipped cycle is one where every stage of
+    /// [`step`](Self::step) is a provable no-op apart from idle/stall slot
+    /// accounting ([`Core::account_skipped`] books those in closed form),
+    /// and every boundary with its own semantics caps the jump — the
+    /// writeback wheel's next drain and the shared-pipe release (via
+    /// [`Core::quiet_wake`]), the fabric's next event, the telemetry
+    /// sample edge, the cycle budget, and the deadlock window.
+    fn fast_forward_idle(&mut self, limit: Cycle) {
+        if self.dispatch_dirty {
+            return; // CTA dispatch may act next cycle
+        }
+        let now = self.now;
+        // Deadlock detection must trip on the same cycle it would have:
+        // step through the last cycle of the quiet window ourselves.
+        let mut target = limit.min(self.last_progress + self.cfg.deadlock_cycles);
+        for core in &mut self.cores {
+            match core.quiet_wake(now) {
+                None => return,
+                Some(w) => target = target.min(w),
+            }
+        }
+        if let Some(t) = self.fabric.next_event(now) {
+            target = target.min(t);
+        }
+        if let Some(tel) = self.telemetry.as_ref() {
+            // The sampler fires on the step that reaches `next_sample_at`,
+            // so run that step; the sample then lands on its usual cycle.
+            target = target.min(tel.next_sample_at().saturating_sub(1));
+        }
+        if target <= now {
+            return;
+        }
+        let skipped = target - now;
+        for core in &mut self.cores {
+            core.account_skipped(skipped);
+        }
+        self.now = target;
     }
 
     /// Snapshot of run statistics.
@@ -516,7 +646,7 @@ impl GpuDevice {
             .enumerate()
             .map(|(i, k)| KernelStats {
                 id: KernelId(i),
-                name: k.desc.name().to_string(),
+                name: k.desc.name_shared(),
                 start_cycle: k.start_cycle,
                 end_cycle: k.end_cycle,
                 instructions: self
@@ -536,6 +666,7 @@ impl GpuDevice {
             l1,
             fabric: self.fabric.stats(),
             cores: self.cores.iter().map(|c| c.stats().clone()).collect(),
+            malformed_dispatches: self.malformed_dispatches,
         }
     }
 }

@@ -41,7 +41,7 @@ pub mod telemetry;
 
 pub use config::GpuConfig;
 pub use core_model::{Core, CoreCtaCompletion, CoreStats};
-pub use device::{GpuDevice, SimError};
+pub use device::{set_fast_forward_default, GpuDevice, SimError};
 pub use memory::{GlobalMem, SharedMem};
 pub use sched_api::{
     CoreDispatchInfo, CtaCompleteEvent, CtaIssueSample, CtaScheduler, Dispatch, DispatchView,

@@ -9,12 +9,27 @@ use std::collections::HashMap;
 
 const PAGE_BYTES: usize = 4096;
 const PAGE_SHIFT: u32 = 12;
+/// Pages below this index live in a dense, directly indexed table (256 MiB
+/// of address space; the table itself is at most 512 KiB of pointers).
+/// Pages above it — only reachable through stray computed addresses — fall
+/// back to a hash map.
+const DENSE_PAGES: usize = 1 << 16;
 
 /// Sparse, byte-addressable functional global memory with a bump
 /// allocator. Unallocated bytes read as zero.
+///
+/// Functional accesses run on the issue-stage hot path (every load
+/// evaluates per lane), so the common case must be cheap: pages in the
+/// bump-allocated range are found by direct index, and aligned word
+/// accesses touch their page exactly once.
 #[derive(Debug, Default)]
 pub struct GlobalMem {
-    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    /// Directly indexed page table for the bump-allocated range.
+    dense: Vec<Option<Box<[u8; PAGE_BYTES]>>>,
+    /// Overflow for out-of-range computed addresses (rare).
+    sparse: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+    /// Materialized page count (dense + sparse).
+    resident: usize,
     next_alloc: u64,
 }
 
@@ -23,7 +38,9 @@ impl GlobalMem {
     /// address 0 stays unused, catching uninitialized pointers).
     pub fn new() -> Self {
         GlobalMem {
-            pages: HashMap::new(),
+            dense: Vec::new(),
+            sparse: HashMap::new(),
+            resident: 0,
             next_alloc: 0x1_0000,
         }
     }
@@ -38,13 +55,31 @@ impl GlobalMem {
     }
 
     fn page(&self, addr: u64) -> Option<&[u8; PAGE_BYTES]> {
-        self.pages.get(&(addr >> PAGE_SHIFT)).map(|b| &**b)
+        let idx = addr >> PAGE_SHIFT;
+        if (idx as usize) < DENSE_PAGES {
+            self.dense.get(idx as usize)?.as_deref()
+        } else {
+            self.sparse.get(&idx).map(|b| &**b)
+        }
     }
 
     fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_BYTES] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]))
+        let idx = addr >> PAGE_SHIFT;
+        if (idx as usize) < DENSE_PAGES {
+            let i = idx as usize;
+            if i >= self.dense.len() {
+                self.dense.resize_with(i + 1, || None);
+            }
+            self.dense[i].get_or_insert_with(|| {
+                self.resident += 1;
+                Box::new([0u8; PAGE_BYTES])
+            })
+        } else {
+            self.sparse.entry(idx).or_insert_with(|| {
+                self.resident += 1;
+                Box::new([0u8; PAGE_BYTES])
+            })
+        }
     }
 
     /// Reads one byte.
@@ -62,33 +97,59 @@ impl GlobalMem {
 
     /// Reads a little-endian `u32` (may straddle pages).
     pub fn read_u32(&self, addr: u64) -> u32 {
-        let mut b = [0u8; 4];
-        for (i, byte) in b.iter_mut().enumerate() {
-            *byte = self.read_u8(addr + i as u64);
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off <= PAGE_BYTES - 4 {
+            match self.page(addr) {
+                Some(p) => u32::from_le_bytes(p[off..off + 4].try_into().expect("4 bytes")),
+                None => 0,
+            }
+        } else {
+            let mut b = [0u8; 4];
+            for (i, byte) in b.iter_mut().enumerate() {
+                *byte = self.read_u8(addr + i as u64);
+            }
+            u32::from_le_bytes(b)
         }
-        u32::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u32`.
     pub fn write_u32(&mut self, addr: u64, v: u32) {
-        for (i, byte) in v.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr + i as u64, *byte);
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off <= PAGE_BYTES - 4 {
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&v.to_le_bytes());
+        } else {
+            for (i, byte) in v.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr + i as u64, *byte);
+            }
         }
     }
 
-    /// Reads a little-endian `u64`.
+    /// Reads a little-endian `u64` (may straddle pages).
     pub fn read_u64(&self, addr: u64) -> u64 {
-        let mut b = [0u8; 8];
-        for (i, byte) in b.iter_mut().enumerate() {
-            *byte = self.read_u8(addr + i as u64);
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off <= PAGE_BYTES - 8 {
+            match self.page(addr) {
+                Some(p) => u64::from_le_bytes(p[off..off + 8].try_into().expect("8 bytes")),
+                None => 0,
+            }
+        } else {
+            let mut b = [0u8; 8];
+            for (i, byte) in b.iter_mut().enumerate() {
+                *byte = self.read_u8(addr + i as u64);
+            }
+            u64::from_le_bytes(b)
         }
-        u64::from_le_bytes(b)
     }
 
     /// Writes a little-endian `u64`.
     pub fn write_u64(&mut self, addr: u64, v: u64) {
-        for (i, byte) in v.to_le_bytes().iter().enumerate() {
-            self.write_u8(addr + i as u64, *byte);
+        let off = (addr as usize) & (PAGE_BYTES - 1);
+        if off <= PAGE_BYTES - 8 {
+            self.page_mut(addr)[off..off + 8].copy_from_slice(&v.to_le_bytes());
+        } else {
+            for (i, byte) in v.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr + i as u64, *byte);
+            }
         }
     }
 
@@ -128,7 +189,7 @@ impl GlobalMem {
 
     /// Number of 4 KiB pages materialized so far.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident
     }
 }
 

@@ -9,8 +9,8 @@ use gpgpu_mem::{CacheStats, Cycle, FabricStats};
 pub struct KernelStats {
     /// The kernel's id.
     pub id: KernelId,
-    /// Kernel name (from the descriptor).
-    pub name: String,
+    /// Kernel name (shared with the descriptor).
+    pub name: std::sync::Arc<str>,
     /// Cycle the kernel became dispatchable.
     pub start_cycle: Cycle,
     /// Cycle its last CTA retired (0 while running).
@@ -86,6 +86,10 @@ pub struct SimStats {
     pub fabric: FabricStats,
     /// Per-core issue/stall counters.
     pub cores: Vec<CoreStats>,
+    /// CTA-scheduler decisions the device had to discard as malformed
+    /// (nonexistent core, zero count, or unknown kernel). Always 0 for
+    /// well-behaved policies; debug builds additionally assert.
+    pub malformed_dispatches: u64,
 }
 
 impl SimStats {

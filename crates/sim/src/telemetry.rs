@@ -32,6 +32,7 @@ use crate::sched_api::KernelId;
 use gpgpu_mem::{Cycle, MemFabric};
 use std::fmt::Write as _;
 use std::io::{self, Write};
+use std::sync::Arc;
 
 /// Telemetry configuration: pure data, carried by harness run specs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,8 +85,9 @@ pub enum TraceEvent {
         cycle: Cycle,
         /// The kernel.
         kernel: KernelId,
-        /// Kernel name from its descriptor.
-        name: String,
+        /// Kernel name, shared with the descriptor (no per-event
+        /// allocation on the launch path).
+        name: Arc<str>,
         /// CTAs in the grid.
         ctas: u64,
     },
@@ -276,7 +278,7 @@ impl TraceEvent {
             "kernel-launch" => Ok(TraceEvent::KernelLaunch {
                 cycle,
                 kernel: KernelId(num_field("kernel")? as usize),
-                name: str_field("name")?,
+                name: Arc::from(str_field("name")?),
                 ctas: num_field("ctas")?,
             }),
             "kernel-complete" => Ok(TraceEvent::KernelComplete {
@@ -803,6 +805,13 @@ impl Telemetry {
     /// The active configuration.
     pub fn config(&self) -> TelemetryConfig {
         self.cfg
+    }
+
+    /// The next cycle a sample fires at (`Cycle::MAX` when sampling is
+    /// off). The idle fast-forward caps its jumps here so every interval
+    /// boundary is still observed exactly.
+    pub(crate) fn next_sample_at(&self) -> Cycle {
+        self.next_sample_at
     }
 
     /// Whether the event trace is on.

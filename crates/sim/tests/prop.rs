@@ -124,7 +124,7 @@ fn coalesce_covers_and_is_canonical() {
         let width = if wide { 8 } else { 4 };
         let lines = coalesce(&addrs, mask, width, 128);
         // Canonical form.
-        for w in lines.windows(2) {
+        for w in lines.as_slice().windows(2) {
             assert!(w[0] < w[1], "sorted and unique");
         }
         for &l in &lines {
@@ -137,7 +137,7 @@ fn coalesce_covers_and_is_canonical() {
             }
             for b in [addrs[lane], addrs[lane] + width - 1] {
                 let line = b & !127;
-                assert!(lines.contains(&line), "byte {b:#x} uncovered");
+                assert!(lines.as_slice().contains(&line), "byte {b:#x} uncovered");
             }
         }
         // Upper bound: at most 2 lines per active lane.

@@ -24,6 +24,7 @@
 //! simulations.
 
 use gpgpu_bench::experiments::{all_ids, collect_experiment, plan_experiment, trace_points};
+use gpgpu_bench::simcheck::{check_case, fuzz_seeds, FuzzCase};
 use gpgpu_bench::{Harness, RunEngine, RunSpec};
 use gpgpu_sim::TelemetryConfig;
 use gpgpu_workloads::Scale;
@@ -32,7 +33,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: exp [options] (--all | e1 e2 ... e10 | trace | perf)
+usage: exp [options] (--all | e1 e2 ... e10 | trace | perf | fuzz)
   --quick           Tiny workloads (alias for --scale tiny)
   --scale SCALE     workload scale: tiny | small (default small)
   --jobs N          worker threads for the run engine (default: all cores)
@@ -53,7 +54,30 @@ usage: exp [options] (--all | e1 e2 ... e10 | trace | perf)
                     batch, report cycles/sec, write BENCH_sim.json
     --bench-out PATH  where the JSON report goes (default BENCH_sim.json)
     --baseline PATH   compare against a previous report; exit nonzero on
-                      a >25% cycles/sec regression";
+                      a >25% cycles/sec regression
+
+  fuzz              deterministic simulation fuzzer: seeded random kernels
+                    run against differential (fast-forward vs reference),
+                    functional (CPU-mirrored memory, invariant across CTA
+                    policies), and conservation oracles; failures shrink
+                    to a reproducer file under --out-dir
+    --seeds A..B      seed window to fuzz (default 0..50)
+    --budget-cycles N per-run cycle budget (default 1000000)
+    --repro FILE      replay one reproducer file instead of fuzzing";
+
+/// Reports a command-line error with the full usage text on stderr, so a
+/// mistyped invocation never fails silently or half-helpfully.
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// Parses the `--seeds A..B` window syntax.
+fn parse_seed_range(s: &str) -> Option<(u64, u64)> {
+    let (lo, hi) = s.split_once("..")?;
+    let (lo, hi) = (lo.parse().ok()?, hi.parse().ok()?);
+    (lo < hi).then_some((lo, hi))
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,10 +85,14 @@ fn main() -> ExitCode {
     let mut run_all = false;
     let mut trace_cmd = false;
     let mut perf_cmd = false;
+    let mut fuzz_cmd = false;
     let mut bench_out = PathBuf::from("BENCH_sim.json");
     let mut baseline: Option<PathBuf> = None;
     let mut trace_dir: Option<PathBuf> = None;
     let mut sample_every: u64 = 1000;
+    let mut seeds: (u64, u64) = (0, 50);
+    let mut budget_cycles: u64 = 1_000_000;
+    let mut repro: Option<PathBuf> = None;
     let mut json = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -75,30 +103,26 @@ fn main() -> ExitCode {
             "--jobs" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
                 else {
-                    eprintln!("--jobs needs a positive integer; try --help");
-                    return ExitCode::FAILURE;
+                    return usage_error("--jobs needs a positive integer");
                 };
                 h.jobs = n;
             }
             "--out-dir" => {
                 let Some(dir) = it.next() else {
-                    eprintln!("--out-dir needs a path; try --help");
-                    return ExitCode::FAILURE;
+                    return usage_error("--out-dir needs a path");
                 };
                 h.out_dir = dir.into();
             }
             "--trace-dir" => {
                 let Some(dir) = it.next() else {
-                    eprintln!("--trace-dir needs a path; try --help");
-                    return ExitCode::FAILURE;
+                    return usage_error("--trace-dir needs a path");
                 };
                 trace_dir = Some(dir.into());
             }
             "--sample-every" => {
                 let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()).filter(|&n| n > 0)
                 else {
-                    eprintln!("--sample-every needs a positive cycle count; try --help");
-                    return ExitCode::FAILURE;
+                    return usage_error("--sample-every needs a positive cycle count");
                 };
                 sample_every = n;
             }
@@ -106,15 +130,13 @@ fn main() -> ExitCode {
             "--no-fast-forward" => gpgpu_sim::set_fast_forward_default(false),
             "--bench-out" => {
                 let Some(p) = it.next() else {
-                    eprintln!("--bench-out needs a path; try --help");
-                    return ExitCode::FAILURE;
+                    return usage_error("--bench-out needs a path");
                 };
                 bench_out = p.into();
             }
             "--baseline" => {
                 let Some(p) = it.next() else {
-                    eprintln!("--baseline needs a path; try --help");
-                    return ExitCode::FAILURE;
+                    return usage_error("--baseline needs a path");
                 };
                 baseline = Some(p.into());
             }
@@ -123,10 +145,28 @@ fn main() -> ExitCode {
                     Some("tiny") => h.scale = Scale::Tiny,
                     Some("small") => h.scale = Scale::Small,
                     other => {
-                        eprintln!("--scale must be tiny or small, got {other:?}; try --help");
-                        return ExitCode::FAILURE;
+                        return usage_error(&format!("--scale must be tiny or small, got {other:?}"));
                     }
                 }
+            }
+            "--seeds" => {
+                let Some(r) = it.next().and_then(|v| parse_seed_range(v)) else {
+                    return usage_error("--seeds needs a window like 0..200 (start < end)");
+                };
+                seeds = r;
+            }
+            "--budget-cycles" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()).filter(|&n| n >= 1000)
+                else {
+                    return usage_error("--budget-cycles needs an integer >= 1000");
+                };
+                budget_cycles = n;
+            }
+            "--repro" => {
+                let Some(p) = it.next() else {
+                    return usage_error("--repro needs a reproducer file path");
+                };
+                repro = Some(p.into());
             }
             "--list" => {
                 for id in all_ids() {
@@ -140,10 +180,10 @@ fn main() -> ExitCode {
             }
             "trace" => trace_cmd = true,
             "perf" => perf_cmd = true,
+            "fuzz" => fuzz_cmd = true,
             id if id.starts_with('e') && all_ids().contains(&id) => ids.push(id.to_string()),
             other => {
-                eprintln!("unknown argument {other:?}; try --help");
-                return ExitCode::FAILURE;
+                return usage_error(&format!("unknown argument {other:?}"));
             }
         }
     }
@@ -153,9 +193,14 @@ fn main() -> ExitCode {
     // Fail on an unusable trace directory before simulating anything.
     if let Some(dir) = &trace_dir {
         if let Err(e) = ensure_writable_dir(dir) {
-            eprintln!("cannot write to trace dir {}: {e}; try --help", dir.display());
-            return ExitCode::FAILURE;
+            return usage_error(&format!(
+                "cannot write to trace dir {}: {e}",
+                dir.display()
+            ));
         }
+    }
+    if fuzz_cmd {
+        return run_fuzz(&h, seeds, budget_cycles, repro.as_deref());
     }
     if trace_cmd {
         return run_trace_smoke(&h, &trace_dir.expect("defaulted above"), sample_every, json);
@@ -167,8 +212,7 @@ fn main() -> ExitCode {
         ids = all_ids().into_iter().map(String::from).collect();
     }
     if ids.is_empty() {
-        eprintln!("nothing to run; try --all or --help");
-        return ExitCode::FAILURE;
+        return usage_error("nothing to run; pass --all, experiment ids, or a subcommand");
     }
 
     let total = std::time::Instant::now();
@@ -351,6 +395,77 @@ fn read_baseline_cps(path: &Path) -> Result<f64, String> {
         .find(|c: char| !matches!(c, '0'..='9' | '.' | '-' | '+' | 'e' | 'E'))
         .unwrap_or(rest.len());
     rest[..end].parse::<f64>().map_err(|e| e.to_string())
+}
+
+/// The `fuzz` path: either replay one reproducer file, or fuzz a seed
+/// window and write a shrunk reproducer per failing seed under the
+/// harness's out-dir. Exits nonzero when any oracle fired.
+fn run_fuzz(h: &Harness, seeds: (u64, u64), budget: u64, repro: Option<&Path>) -> ExitCode {
+    if let Some(path) = repro {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read reproducer {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let case = match FuzzCase::from_repro(&text) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("bad reproducer {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("[fuzz: replaying {}]", path.display());
+        let failures = check_case(&case);
+        if failures.is_empty() {
+            println!("[fuzz: reproducer is clean — all oracles passed]");
+            return ExitCode::SUCCESS;
+        }
+        for f in &failures {
+            println!("{f}");
+        }
+        println!("[fuzz: {} oracle failure(s)]", failures.len());
+        return ExitCode::FAILURE;
+    }
+
+    let (lo, hi) = seeds;
+    let t0 = std::time::Instant::now();
+    let failures = fuzz_seeds(lo, hi, budget, h.jobs);
+    if failures.is_empty() {
+        println!(
+            "[fuzz: seeds {lo}..{hi} clean ({} cases, {} oracle runs each) in {:.1?}]",
+            hi - lo,
+            3 + tbs_core::CtaPolicy::sweep_named().len(),
+            t0.elapsed()
+        );
+        return ExitCode::SUCCESS;
+    }
+    if let Err(e) = ensure_writable_dir(&h.out_dir) {
+        eprintln!("cannot write to out dir {}: {e}", h.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for f in &failures {
+        println!("seed {} failed {} oracle check(s):", f.seed, f.failures.len());
+        for x in &f.failures {
+            println!("  {x}");
+        }
+        let path = h.out_dir.join(format!("simcheck-seed{}.repro", f.seed));
+        match std::fs::write(&path, f.shrunk.to_repro()) {
+            Ok(()) => println!("  shrunk reproducer: {}", path.display()),
+            Err(e) => eprintln!("  cannot write {}: {e}", path.display()),
+        }
+        for x in &f.shrunk_failures {
+            println!("  after shrink: {x}");
+        }
+    }
+    println!(
+        "[fuzz: {} of {} seeds failed in {:.1?}]",
+        failures.len(),
+        hi - lo,
+        t0.elapsed()
+    );
+    ExitCode::FAILURE
 }
 
 /// The `trace` smoke path: one traced kernel, trace files written, no

@@ -16,6 +16,7 @@
 
 pub mod engine;
 pub mod experiments;
+pub mod simcheck;
 pub mod table;
 
 pub use engine::{EngineSummary, RunEngine, RunKey, RunKind, RunProfile, RunResult, RunSpec};

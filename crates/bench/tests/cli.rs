@@ -74,6 +74,65 @@ fn unknown_argument_is_rejected() {
 }
 
 #[test]
+fn argument_errors_print_the_full_usage_text() {
+    // Every malformed invocation must exit nonzero AND reprint the usage
+    // block, so a mistyped flag never strands the user with a bare error.
+    let bad: &[&[&str]] = &[
+        &["--quick", "bogus"],
+        &["--jobs", "zero", "e1"],
+        &["--scale", "huge", "e1"],
+        &["fuzz", "--seeds", "nonsense"],
+        &["fuzz", "--seeds", "5..5"],
+        &["fuzz", "--seeds", "9..2"],
+        &["fuzz", "--budget-cycles", "12"],
+        &["fuzz", "--budget-cycles", "many"],
+        &["fuzz", "--repro"],
+        &[],
+    ];
+    for args in bad {
+        let out = exp(args);
+        assert!(!out.status.success(), "{args:?} must exit nonzero");
+        let err = stderr(&out);
+        assert!(err.contains("error:"), "{args:?} reports an error: {err}");
+        assert!(
+            err.contains("usage: exp"),
+            "{args:?} reprints the usage text: {err}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_smoke_reports_a_clean_window() {
+    let out = exp(&["fuzz", "--seeds", "0..2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(
+        stdout.contains("seeds 0..2 clean"),
+        "reports the clean window: {stdout}"
+    );
+}
+
+#[test]
+fn fuzz_replays_a_reproducer_file() {
+    use gpgpu_bench::simcheck::FuzzCase;
+    let dir = Scratch::new("repro");
+    std::fs::create_dir_all(&dir.0).expect("scratch dir");
+    let file = dir.0.join("case.repro");
+    std::fs::write(&file, FuzzCase::generate(0, 1_000_000).to_repro()).expect("write repro");
+
+    let out = exp(&["fuzz", "--repro", file.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(stdout.contains("clean"), "clean reproducer passes: {stdout}");
+
+    // A corrupt file is a hard error, not a silent pass.
+    std::fs::write(&file, "# not a reproducer\n").expect("write junk");
+    let out = exp(&["fuzz", "--repro", file.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("bad reproducer"));
+}
+
+#[test]
 fn trace_smoke_writes_parseable_files() {
     let dir = Scratch::new("smoke");
     let out = exp(&["--quick", "trace", "--trace-dir", dir.path(), "--json"]);

@@ -91,6 +91,36 @@ impl CtaScheduler for Bcs {
                     count: want,
                 });
             }
+            // Degenerate configurations (a CTA-residency limit or per-CTA
+            // resource demand below the block size) can make a full block
+            // unfittable on ANY core, ever: a completely idle core holds
+            // the largest capacity this kernel will ever see, so if even
+            // one of those is too small, waiting would deadlock the
+            // device. Dispatch a clamped block there instead. Ordinary
+            // configurations never reach this: an idle core that could
+            // fit the block was already taken by the scan above.
+            let clamped = (0..n)
+                .map(|i| (self.cursor + i) % n)
+                .filter(|&c| view.core(c).cta_count == 0)
+                .map(|c| (c, view.core(c).capacity_for(k.id)))
+                .max_by_key(|&(_, cap)| cap)
+                .filter(|&(_, cap)| cap >= 1);
+            if let Some((core, cap)) = clamped {
+                self.cursor = (core + 1) % n;
+                if self.trace {
+                    self.trace_buf.push(PolicyDecision {
+                        core,
+                        kernel: k.id,
+                        action: "bcs-clamped-block",
+                        value: u64::from(cap),
+                    });
+                }
+                return Some(Dispatch {
+                    core,
+                    kernel: k.id,
+                    count: cap,
+                });
+            }
         }
         None
     }
@@ -186,6 +216,32 @@ mod tests {
         let mut b = Bcs::with_block_size(4);
         let d = b.select(&view).unwrap();
         assert_eq!((d.core, d.count), (1, 4));
+    }
+
+    /// Found by the simcheck fuzzer: with a residency limit below the
+    /// block size, no core can EVER fit a whole block, and waiting for one
+    /// deadlocks the device. An idle core must get a clamped block.
+    #[test]
+    fn unfittable_block_clamps_instead_of_starving() {
+        let kernels = summary(3);
+        // Two fully idle cores whose maximum capacity is 1 (< block of 2).
+        let infos: Vec<CoreDispatchInfo> = (0..2)
+            .map(|_| CoreDispatchInfo {
+                cta_count: 0,
+                kernel_ctas: vec![(KernelId(0), 0)],
+                capacity: vec![(KernelId(0), 1)],
+                completed: vec![(KernelId(0), 0)],
+            })
+            .collect();
+        let view = DispatchView::new(0, &kernels, &infos);
+        let mut b = Bcs::new();
+        let d = b.select(&view).expect("must not starve the kernel");
+        assert_eq!(d.count, 1, "block clamped to the best idle capacity");
+        // Busy cores (nonzero residency) still make BCS wait: transient
+        // fullness is not the degenerate case.
+        let infos = cores(&[1, 1]);
+        let view = DispatchView::new(0, &kernels, &infos);
+        assert_eq!(b.select(&view), None);
     }
 
     #[test]

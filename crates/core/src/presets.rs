@@ -154,6 +154,28 @@ impl CtaPolicy {
             ("dyncta", CtaPolicy::Dyncta),
         ]
     }
+
+    /// A wider enumeration than [`all_named`](Self::all_named): the
+    /// canonical instances plus knob variants off the paper defaults
+    /// (tight/loose LCS gammas, small/large BCS blocks, throttled
+    /// baselines). This is the sweep the `simcheck` fuzzer runs its
+    /// cross-policy functional oracle over — final memory contents must
+    /// agree across every entry, so knob diversity directly widens the
+    /// tested scheduling space. Every entry's name parses back to its
+    /// policy.
+    pub fn sweep_named() -> Vec<(&'static str, CtaPolicy)> {
+        let mut v = Self::all_named();
+        v.extend([
+            ("baseline:1", CtaPolicy::Baseline(Some(1))),
+            ("baseline:4", CtaPolicy::Baseline(Some(4))),
+            ("lcs:0.1", CtaPolicy::Lcs(0.1)),
+            ("lcs:1", CtaPolicy::Lcs(1.0)),
+            ("bcs:1", CtaPolicy::Bcs(1)),
+            ("bcs:4", CtaPolicy::Bcs(4)),
+            ("mixed-cke:0.3", CtaPolicy::MixedCke(0.3)),
+        ]);
+        v
+    }
 }
 
 impl fmt::Display for CtaPolicy {
@@ -246,6 +268,24 @@ mod tests {
         assert_eq!("baws:4".parse::<WarpPolicy>().unwrap(), WarpPolicy::Baws(4));
         assert!("gtto".parse::<WarpPolicy>().is_err());
         assert!("baws:x".parse::<WarpPolicy>().is_err());
+    }
+
+    #[test]
+    fn sweep_superset_round_trips_and_instantiates() {
+        let sweep = CtaPolicy::sweep_named();
+        let named = CtaPolicy::all_named();
+        assert!(sweep.len() > named.len(), "sweep widens the canonical set");
+        for (name, policy) in &named {
+            assert!(sweep.iter().any(|(n, _)| n == name), "sweep keeps {name}");
+            assert!(sweep.iter().any(|(_, p)| p == policy));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for (name, policy) in sweep {
+            assert!(seen.insert(name), "duplicate sweep entry {name}");
+            assert_eq!(name.parse::<CtaPolicy>().unwrap(), policy);
+            assert_eq!(policy.to_string(), name);
+            let _ = policy.scheduler(); // constructible
+        }
     }
 
     #[test]

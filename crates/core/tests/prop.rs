@@ -2,45 +2,24 @@
 //! scheduler-pick legality over arbitrary candidate sets, and dispatch
 //! legality over arbitrary machine states.
 //!
-//! Cases are drawn from a seeded in-file SplitMix64 generator instead of
-//! an external property-testing framework, so the crate builds with no
-//! third-party dependencies and every run checks the same cases.
+//! Cases are drawn from the seeded SplitMix64 generator in
+//! `gpgpu-testkit` (shared across the workspace), so the crate builds
+//! with no third-party dependencies and every run checks the same cases.
 
 use gpgpu_sim::{
     CoreDispatchInfo, CtaScheduler, DispatchView, IssueView, KernelId, KernelSummary, WarpMeta,
     WarpScheduler,
 };
+use gpgpu_testkit::Gen;
 use tbs_core::{
     estimate_cta_limit, Baws, Bcs, Gto, Lcs, LeftoverCke, Lrr, RoundRobinCta, TwoLevel,
 };
-
-/// Deterministic SplitMix64 case generator.
-struct Gen(u64);
-
-impl Gen {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next_u64() % (hi - lo)
-    }
-
-    /// A gamma in (0, 1).
-    fn gamma(&mut self) -> f64 {
-        (self.range(1, 100) as f64) / 100.0
-    }
-}
 
 /// The LCS estimate is always within [1, samples.len()] and monotone
 /// non-increasing in gamma.
 #[test]
 fn estimator_bounds_and_monotonicity() {
-    let mut g = Gen(0xE57);
+    let mut g = Gen::new(0xE57);
     for i in 0..512 {
         let len = if i == 0 { 0 } else { g.range(0, 16) };
         let samples: Vec<u64> = (0..len).map(|_| g.range(0, 1_000_000)).collect();
@@ -60,7 +39,7 @@ fn estimator_bounds_and_monotonicity() {
 /// candidate list, for arbitrary candidate sets and warp metadata.
 #[test]
 fn warp_schedulers_pick_legally() {
-    let mut g = Gen(0x9A);
+    let mut g = Gen::new(0x9A);
     for i in 0..128 {
         let mut candidates: Vec<usize> = (0..g.range(0, 20))
             .map(|_| g.range(0, 48) as usize)
@@ -119,7 +98,7 @@ fn warp_schedulers_pick_legally() {
 /// exist, with positive counts, for arbitrary capacity states.
 #[test]
 fn cta_schedulers_dispatch_legally() {
-    let mut g = Gen(0xD15);
+    let mut g = Gen::new(0xD15);
     for i in 0..256 {
         let caps: Vec<(u32, u32)> = (0..g.range(1, 8))
             .map(|_| (g.range(0, 9) as u32, g.range(0, 9) as u32))

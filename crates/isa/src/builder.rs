@@ -89,6 +89,18 @@ impl KernelBuilder {
         p
     }
 
+    /// Number of general-purpose registers allocated so far. Kernel
+    /// generators use this to set an exact `regs_per_thread` on the
+    /// descriptor instead of guessing a budget.
+    pub fn regs_used(&self) -> u16 {
+        self.next_reg
+    }
+
+    /// Number of predicate registers allocated so far.
+    pub fn preds_used(&self) -> u16 {
+        self.next_pred
+    }
+
     /// Number of instructions emitted so far.
     pub fn len(&self) -> usize {
         self.instrs.len()
@@ -458,6 +470,23 @@ impl KernelBuilder {
         self.imad(ctaid, ntid, tid)
     }
 
+    /// The linearized global thread index for any grid/block shape:
+    /// `cta_linear * (ntid.x * ntid.y) + tid.y * ntid.x + tid.x`. Every
+    /// thread in the launch gets a distinct index in
+    /// `[0, cta_count * threads_per_cta)`, which makes 2-D launches
+    /// addressable with 1-D buffers (the fuzzer's generated kernels rely
+    /// on this for race-free per-thread slots).
+    pub fn global_tid_linear(&mut self) -> Reg {
+        let cta = self.special(SpecialReg::CtaLinear);
+        let ntx = self.special(SpecialReg::NTidX);
+        let nty = self.special(SpecialReg::NTidY);
+        let per_cta = self.imul(ntx, nty);
+        let ty = self.special(SpecialReg::TidY);
+        let tx = self.special(SpecialReg::TidX);
+        let local = self.imad(ty, ntx, tx);
+        self.imad(cta, per_cta, local)
+    }
+
     // ----- guards ---------------------------------------------------------
 
     /// Emits the instructions produced by `body` under guard
@@ -730,6 +759,41 @@ mod tests {
             .instructions()
             .iter()
             .any(|i| matches!(i.op, Instr::Alu { op: AluOp::IMad, .. })));
+    }
+
+    #[test]
+    fn allocation_accessors_track_fresh_registers() {
+        let mut k = KernelBuilder::new("t", Dim2::x(32));
+        assert_eq!(k.regs_used(), 0);
+        assert_eq!(k.preds_used(), 0);
+        let _ = k.reg();
+        let _ = k.movi(3u64); // allocates one more
+        let _ = k.pred();
+        assert_eq!(k.regs_used(), 2);
+        assert_eq!(k.preds_used(), 1);
+    }
+
+    #[test]
+    fn global_tid_linear_reads_both_dims() {
+        let mut k = KernelBuilder::new("t", Dim2::new(8, 4));
+        let g = k.global_tid_linear();
+        let n = k.movi(0u64);
+        k.iadd(g, n);
+        let p = k.build().unwrap();
+        for s in [
+            SpecialReg::CtaLinear,
+            SpecialReg::NTidX,
+            SpecialReg::NTidY,
+            SpecialReg::TidX,
+            SpecialReg::TidY,
+        ] {
+            assert!(
+                p.instructions()
+                    .iter()
+                    .any(|i| matches!(i.op, Instr::Special { sreg, .. } if sreg == s)),
+                "missing special read {s:?}"
+            );
+        }
     }
 
     #[test]

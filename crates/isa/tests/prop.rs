@@ -1,44 +1,18 @@
 //! Property-style tests for the ISA: functional semantics laws and
 //! builder well-formedness over randomly generated structured programs.
 //!
-//! Cases are drawn from a seeded in-file SplitMix64 generator instead of
-//! an external property-testing framework, so the crate builds with no
-//! third-party dependencies and every run checks the same cases.
+//! Cases are drawn from the seeded SplitMix64 generator in
+//! `gpgpu-testkit` (shared across the workspace), so the crate builds
+//! with no third-party dependencies and every run checks the same cases.
 
 use gpgpu_isa::{sem, AluOp, CmpOp, CmpTy, Dim2, KernelBuilder, PBoolOp, Pc};
-
-/// Deterministic SplitMix64 case generator.
-struct Gen(u64);
-
-impl Gen {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next_u64() % (hi - lo)
-    }
-
-    fn f32(&mut self) -> f32 {
-        // A mix of ordinary magnitudes, extremes, and specials.
-        match self.next_u64() % 8 {
-            0 => f32::NAN,
-            1 => f32::INFINITY,
-            2 => 0.0,
-            _ => f32::from_bits(self.next_u64() as u32),
-        }
-    }
-}
+use gpgpu_testkit::Gen;
 
 const CASES: usize = 512;
 
 #[test]
 fn iadd_commutes() {
-    let mut g = Gen(1);
+    let mut g = Gen::new(1);
     for _ in 0..CASES {
         let (a, b) = (g.next_u64(), g.next_u64());
         assert_eq!(
@@ -50,7 +24,7 @@ fn iadd_commutes() {
 
 #[test]
 fn imad_is_mul_then_add() {
-    let mut g = Gen(2);
+    let mut g = Gen::new(2);
     for _ in 0..CASES {
         let (a, b, c) = (g.next_u64(), g.next_u64(), g.next_u64());
         let mul = sem::eval_alu(AluOp::IMul, a, b, 0);
@@ -61,7 +35,7 @@ fn imad_is_mul_then_add() {
 
 #[test]
 fn sub_is_inverse_of_add() {
-    let mut g = Gen(3);
+    let mut g = Gen::new(3);
     for _ in 0..CASES {
         let (a, b) = (g.next_u64(), g.next_u64());
         let s = sem::eval_alu(AluOp::IAdd, a, b, 0);
@@ -71,7 +45,7 @@ fn sub_is_inverse_of_add() {
 
 #[test]
 fn shl_then_shr_recovers_low_bits() {
-    let mut g = Gen(4);
+    let mut g = Gen::new(4);
     for _ in 0..CASES {
         let a = g.next_u64();
         let k = g.range(0, 32);
@@ -87,7 +61,7 @@ fn shl_then_shr_recovers_low_bits() {
 
 #[test]
 fn cmp_trichotomy_unsigned() {
-    let mut g = Gen(5);
+    let mut g = Gen::new(5);
     for i in 0..CASES {
         let (a, mut b) = (g.next_u64(), g.next_u64());
         if i % 4 == 0 {
@@ -105,7 +79,7 @@ fn cmp_trichotomy_unsigned() {
 
 #[test]
 fn cmp_signed_consistent_with_i64() {
-    let mut g = Gen(6);
+    let mut g = Gen::new(6);
     for _ in 0..CASES {
         let (a, b) = (g.next_u64() as i64, g.next_u64() as i64);
         assert_eq!(
@@ -129,7 +103,7 @@ fn pbool_against_reference() {
 
 #[test]
 fn division_never_panics() {
-    let mut g = Gen(7);
+    let mut g = Gen::new(7);
     for i in 0..CASES {
         let a = g.next_u64();
         let b = if i % 3 == 0 { 0 } else { g.next_u64() };
@@ -140,7 +114,7 @@ fn division_never_panics() {
 
 #[test]
 fn f32_ops_are_bit_stable() {
-    let mut g = Gen(8);
+    let mut g = Gen::new(8);
     for _ in 0..CASES {
         let (a, b) = (g.f32(), g.f32());
         // Two evaluations give identical bits (determinism).
@@ -172,7 +146,7 @@ fn random_shape(g: &mut Gen) -> Shape {
 /// program whose branch targets/reconvergence PCs are in range.
 #[test]
 fn structured_programs_always_validate() {
-    let mut g = Gen(9);
+    let mut g = Gen::new(9);
     for _ in 0..128 {
         let shapes: Vec<Shape> = (0..g.range(1, 6)).map(|_| random_shape(&mut g)).collect();
         let mut k = KernelBuilder::new("prop", Dim2::x(32));

@@ -29,11 +29,16 @@ pub struct DramConfig {
     pub t_burst: u32,
     /// Request-queue capacity.
     pub queue_len: u32,
+    /// Starvation cap: how many times a serviceable request may be passed
+    /// over in favor of a *younger* one (a row hit jumping the queue)
+    /// before arbitration falls back to oldest-first until it drains. `0`
+    /// disables row-hit reordering entirely (pure FCFS).
+    pub max_bypass: u32,
 }
 
 impl DramConfig {
     /// GDDR5-like defaults (in core cycles): 16 banks, 2 KiB rows,
-    /// tRCD/tRP/tCAS = 40, burst 4.
+    /// tRCD/tRP/tCAS = 40, burst 4, starvation cap 16.
     pub fn gddr5_default() -> Self {
         DramConfig {
             banks: 16,
@@ -44,6 +49,7 @@ impl DramConfig {
             t_cas: 40,
             t_burst: 4,
             queue_len: 32,
+            max_bypass: 16,
         }
     }
 
@@ -142,6 +148,9 @@ struct Queued {
     enqueued: Cycle,
     bank: u32,
     row: u64,
+    /// Times this request was serviceable but a younger one was issued
+    /// instead. At `max_bypass` the arbiter stops letting row hits jump it.
+    bypass: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -220,6 +229,7 @@ impl DramChannel {
             enqueued: now,
             bank,
             row,
+            bypass: 0,
         });
         true
     }
@@ -247,26 +257,40 @@ impl DramChannel {
         // Keep completion order deterministic regardless of in-flight layout.
         done.sort_by_key(|c| (c.local_addr, c.token));
 
-        // FR-FCFS issue: among requests whose bank is free, prefer the
-        // oldest row hit, else the oldest. One command per cycle (command
-        // bus). Banks overlap; only data bursts serialize on the data bus.
-        let mut pick: Option<(usize, bool)> = None; // (index, is_row_hit)
+        // FR-FCFS issue with a starvation cap: among requests whose bank
+        // is free, prefer the oldest row hit, else the oldest — unless
+        // some serviceable request has already been bypassed `max_bypass`
+        // times, in which case arbitration falls back to pure oldest-first
+        // until the pressure clears. One command per cycle (command bus).
+        // Banks overlap; only data bursts serialize on the data bus.
+        let mut oldest: Option<usize> = None;
+        let mut oldest_hit: Option<usize> = None;
+        let mut capped = false;
         for (idx, q) in self.queue.iter().enumerate() {
             let bank = &self.banks[q.bank as usize];
             if bank.busy_until > now {
                 continue;
             }
-            let hit = bank.open_row == Some(q.row);
-            match pick {
-                None => pick = Some((idx, hit)),
-                Some((_, false)) if hit => pick = Some((idx, hit)),
-                _ => {}
+            if oldest.is_none() {
+                oldest = Some(idx);
             }
-            if hit {
-                break; // oldest row hit found
+            if q.bypass >= self.cfg.max_bypass {
+                capped = true;
+                break; // oldest-first from here on; no need to scan further
+            }
+            if oldest_hit.is_none() && bank.open_row == Some(q.row) {
+                oldest_hit = Some(idx);
             }
         }
-        if let Some((idx, _)) = pick {
+        let pick = if capped { oldest } else { oldest_hit.or(oldest) };
+        if let Some(idx) = pick {
+            // Everything older and serviceable is being jumped by a
+            // younger request; count the bypass toward the cap.
+            for q in self.queue.iter_mut().take(idx) {
+                if self.banks[q.bank as usize].busy_until <= now {
+                    q.bypass += 1;
+                }
+            }
             let q = self.queue.remove(idx).expect("index valid");
             let bank = &mut self.banks[q.bank as usize];
             let access_lat = match bank.open_row {
@@ -348,6 +372,7 @@ mod tests {
             t_cas: 10,
             t_burst: 4,
             queue_len: 8,
+            max_bypass: 8,
         })
     }
 

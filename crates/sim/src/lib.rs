@@ -33,6 +33,7 @@ pub mod coalesce;
 mod config;
 pub mod core_model;
 mod device;
+pub mod invariants;
 mod memory;
 pub mod sched_api;
 pub mod simt;
@@ -42,6 +43,7 @@ pub mod telemetry;
 pub use config::GpuConfig;
 pub use core_model::{Core, CoreCtaCompletion, CoreStats};
 pub use device::{set_fast_forward_default, GpuDevice, SimError};
+pub use invariants::{assert_conservation, conservation_violations};
 pub use memory::{GlobalMem, SharedMem};
 pub use sched_api::{
     CoreDispatchInfo, CtaCompleteEvent, CtaIssueSample, CtaScheduler, Dispatch, DispatchView,

@@ -191,6 +191,43 @@ impl GlobalMem {
     pub fn resident_pages(&self) -> usize {
         self.resident
     }
+
+    /// A deterministic digest of memory *content*: FNV-1a over every
+    /// non-zero materialized page, visited in ascending page order
+    /// regardless of whether the page lives in the dense table or the
+    /// sparse overflow. All-zero pages are skipped, so the hash depends
+    /// only on observable values (unallocated bytes read as zero), not on
+    /// which pages happen to have been materialized. Two memories with the
+    /// same readable contents therefore hash identically — the snapshot
+    /// primitive behind `simcheck`'s cross-policy functional oracle.
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        fn mix_page(mut h: u64, idx: u64, page: &[u8; PAGE_BYTES]) -> u64 {
+            if page.iter().all(|&b| b == 0) {
+                return h;
+            }
+            for b in idx.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+            for &b in page.iter() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+            h
+        }
+        let mut h = FNV_OFFSET;
+        for (i, page) in self.dense.iter().enumerate() {
+            if let Some(p) = page {
+                h = mix_page(h, i as u64, p);
+            }
+        }
+        let mut overflow: Vec<u64> = self.sparse.keys().copied().collect();
+        overflow.sort_unstable();
+        for idx in overflow {
+            h = mix_page(h, idx, &self.sparse[&idx]);
+        }
+        h
+    }
 }
 
 /// A CTA's functional shared-memory scratchpad (byte-addressable,
@@ -305,6 +342,36 @@ mod tests {
         assert!(b >= a + 100);
         assert!(c >= b + 1);
         assert_ne!(a, 0, "allocations avoid the null page");
+    }
+
+    #[test]
+    fn content_hash_tracks_values_not_materialization() {
+        let mut a = GlobalMem::new();
+        let mut b = GlobalMem::new();
+        assert_eq!(a.content_hash(), b.content_hash(), "empty memories agree");
+
+        // Materializing a page with zeroes must not change the hash: the
+        // readable contents are unchanged.
+        a.write_u32(0x4000, 0);
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        a.write_u32(0x4000, 7);
+        let h1 = a.content_hash();
+        assert_ne!(h1, b.content_hash(), "a write is visible");
+        b.write_u32(0x4000, 7);
+        assert_eq!(h1, b.content_hash(), "same contents, same hash");
+
+        // Same value at a different address hashes differently.
+        let mut c = GlobalMem::new();
+        c.write_u32(0x8000, 7);
+        assert_ne!(c.content_hash(), h1);
+
+        // A sparse-overflow page (beyond the dense range) participates.
+        let far = (super::DENSE_PAGES as u64 + 5) << 12;
+        a.write_u32(far, 9);
+        b.write_u32(far, 9);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_ne!(a.content_hash(), h1);
     }
 
     #[test]

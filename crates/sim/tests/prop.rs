@@ -2,39 +2,19 @@
 //! under random structured divergence and the coalescer's covering
 //! property.
 //!
-//! Cases are drawn from a seeded in-file SplitMix64 generator instead of
-//! an external property-testing framework, so the crate builds with no
-//! third-party dependencies and every run checks the same cases.
+//! Cases are drawn from the seeded SplitMix64 generator in
+//! `gpgpu-testkit` (shared across the workspace), so the crate builds
+//! with no third-party dependencies and every run checks the same cases.
 
 use gpgpu_sim::coalesce::{coalesce, shared_conflict_passes};
 use gpgpu_sim::{SimtStack, FULL_MASK};
-
-/// Deterministic SplitMix64 case generator.
-struct Gen(u64);
-
-impl Gen {
-    fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next_u64() % (hi - lo)
-    }
-}
+use gpgpu_testkit::Gen;
 
 /// An if/else over a random lane partition always reconverges with the
 /// original mask, regardless of which side exits lanes.
 #[test]
 fn if_else_reconverges() {
-    let mut g = Gen(0x51);
+    let mut g = Gen::new(0x51);
     for i in 0..512 {
         let taken_mask = match i {
             0 => 0,
@@ -77,7 +57,7 @@ fn if_else_reconverges() {
 /// nesting level + 1.
 #[test]
 fn nesting_depth_bounded() {
-    let mut g = Gen(0xDEB7);
+    let mut g = Gen::new(0xDEB7);
     for _ in 0..256 {
         let masks: Vec<u32> = (0..g.range(1, 6)).map(|_| g.next_u32()).collect();
         let mut s = SimtStack::new(FULL_MASK);
@@ -109,7 +89,7 @@ fn nesting_depth_bounded() {
 /// unique, line-aligned addresses.
 #[test]
 fn coalesce_covers_and_is_canonical() {
-    let mut g = Gen(0xC0A);
+    let mut g = Gen::new(0xC0A);
     for i in 0..256 {
         let mut addrs = [0u64; 32];
         for a in &mut addrs {
@@ -153,7 +133,7 @@ fn coalesce_covers_and_is_canonical() {
 /// any lane is active), and a uniform broadcast is always 1 pass.
 #[test]
 fn shared_conflicts_bounded() {
-    let mut g = Gen(0x5AED);
+    let mut g = Gen::new(0x5AED);
     for i in 0..256 {
         let mut addrs = [0u64; 32];
         for a in &mut addrs {

@@ -40,45 +40,12 @@ pub enum Scale {
     Full,
 }
 
-/// A tiny deterministic PRNG (SplitMix64) used to seed workload inputs.
-///
-/// Self-contained so the workload suite has no external dependency; the
-/// stream is stable across platforms and releases, which keeps seeded
-/// inputs — and therefore simulated cycle counts — reproducible.
-#[derive(Debug, Clone)]
-pub struct SplitMix64(u64);
-
-impl SplitMix64 {
-    /// A generator seeded with `seed`.
-    pub fn new(seed: u64) -> Self {
-        SplitMix64(seed)
-    }
-
-    /// The next raw 64-bit draw.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// The next draw as `u32`.
-    pub fn next_u32(&mut self) -> u32 {
-        (self.next_u64() >> 32) as u32
-    }
-
-    /// A draw in `[lo, hi)`. Uses a simple modulo reduction — fine for
-    /// workload-input generation, where a sub-ppm bias is irrelevant.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lo >= hi`.
-    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
-        assert!(lo < hi, "empty range {lo}..{hi}");
-        lo + self.next_u64() % (hi - lo)
-    }
-}
+// The PRNG seeding workload inputs now lives in `gpgpu-testkit` (shared
+// with every crate's property tests); re-exported here so workload code
+// and downstream users keep their import paths. The stream is identical
+// to the historical in-crate copy, so seeded inputs — and therefore
+// simulated cycle counts — are unchanged.
+pub use gpgpu_testkit::SplitMix64;
 
 /// A functional-verification failure.
 #[derive(Debug, Clone)]

@@ -2,7 +2,7 @@
 //! schedulers → workloads) working together, exercising behaviours no
 //! single crate can test alone.
 
-use gpgpu_repro::isa::{CmpOp, CmpTy, Dim2, KernelBuilder, KernelDescriptor, SpecialReg};
+use gpgpu_repro::isa::{CmpOp, CmpTy, Dim2, KernelBuilder, KernelDescriptor};
 use gpgpu_repro::sim::{GpuConfig, GpuDevice, SimError};
 use gpgpu_repro::tbs::{CtaPolicy, Lcs, WarpPolicy};
 use gpgpu_repro::workloads::{by_name, run_workload, run_workload_with_device, Scale};

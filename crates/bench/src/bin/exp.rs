@@ -35,8 +35,11 @@ use std::process::ExitCode;
 const USAGE: &str = "\
 usage: exp [options] (--all | e1 e2 ... e10 | trace | perf | fuzz)
   --quick           Tiny workloads (alias for --scale tiny)
-  --scale SCALE     workload scale: tiny | small (default small)
+  --scale SCALE     workload scale: tiny | small | large | full
+                    (default small)
   --jobs N          worker threads for the run engine (default: all cores)
+  --sim-threads N   threads stepping the cores of each simulation
+                    (default 1; results are byte-identical at any value)
   --out-dir PATH    directory CSVs are written to (default: results/)
   --trace-dir PATH  record telemetry for E2/E5/E8 trace points into PATH
   --sample-every N  telemetry sampling interval in cycles (default 1000)
@@ -51,10 +54,18 @@ usage: exp [options] (--all | e1 e2 ... e10 | trace | perf | fuzz)
                     print no tables
 
   perf              simulator throughput benchmark: run the full E1..E10
-                    batch, report cycles/sec, write BENCH_sim.json
+                    batch, report per-simulation and wall-clock-aggregate
+                    cycles/sec, sweep one simulation across sim-thread
+                    counts, write BENCH_sim.json
     --bench-out PATH  where the JSON report goes (default BENCH_sim.json)
     --baseline PATH   compare against a previous report; exit nonzero on
-                      a >25% cycles/sec regression
+                      a >25% per-simulation cycles/sec regression
+    --thread-sweep L  comma-separated sim-thread counts for the
+                      single-simulation sweep (default 1,2,4; `none`
+                      skips it)
+    --sweep-only      skip the E1..E10 batch and run only the thread
+                      sweep (useful at --scale large, where the batch
+                      would dominate); no baseline gating
 
   fuzz              deterministic simulation fuzzer: seeded random kernels
                     run against differential (fast-forward vs reference),
@@ -93,6 +104,9 @@ fn main() -> ExitCode {
     let mut seeds: (u64, u64) = (0, 50);
     let mut budget_cycles: u64 = 1_000_000;
     let mut repro: Option<PathBuf> = None;
+    let mut sim_threads: usize = 1;
+    let mut thread_sweep: Vec<usize> = vec![1, 2, 4];
+    let mut sweep_only = false;
     let mut json = false;
     let mut ids: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -128,6 +142,32 @@ fn main() -> ExitCode {
             }
             "--json" => json = true,
             "--no-fast-forward" => gpgpu_sim::set_fast_forward_default(false),
+            "--sim-threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
+                else {
+                    return usage_error("--sim-threads needs a positive integer");
+                };
+                sim_threads = n;
+                gpgpu_sim::set_sim_threads_default(n);
+            }
+            "--thread-sweep" => {
+                let Some(v) = it.next() else {
+                    return usage_error("--thread-sweep needs a list like 1,2,4 (or none)");
+                };
+                if v == "none" {
+                    thread_sweep.clear();
+                } else {
+                    let Some(list) = v
+                        .split(',')
+                        .map(|s| s.parse::<usize>().ok().filter(|&n| n > 0))
+                        .collect::<Option<Vec<usize>>>()
+                    else {
+                        return usage_error("--thread-sweep needs positive integers like 1,2,4");
+                    };
+                    thread_sweep = list;
+                }
+            }
+            "--sweep-only" => sweep_only = true,
             "--bench-out" => {
                 let Some(p) = it.next() else {
                     return usage_error("--bench-out needs a path");
@@ -144,8 +184,12 @@ fn main() -> ExitCode {
                 match it.next().map(String::as_str) {
                     Some("tiny") => h.scale = Scale::Tiny,
                     Some("small") => h.scale = Scale::Small,
+                    Some("large") => h.scale = Scale::Large,
+                    Some("full") => h.scale = Scale::Full,
                     other => {
-                        return usage_error(&format!("--scale must be tiny or small, got {other:?}"));
+                        return usage_error(&format!(
+                            "--scale must be tiny, small, large, or full, got {other:?}"
+                        ));
                     }
                 }
             }
@@ -206,7 +250,23 @@ fn main() -> ExitCode {
         return run_trace_smoke(&h, &trace_dir.expect("defaulted above"), sample_every, json);
     }
     if perf_cmd {
-        return run_perf(&h, &bench_out, baseline.as_deref(), json);
+        if sweep_only {
+            if baseline.is_some() {
+                return usage_error("--sweep-only runs no batch, so --baseline cannot gate");
+            }
+            if thread_sweep.is_empty() {
+                return usage_error("--sweep-only with --thread-sweep none would do nothing");
+            }
+            return run_perf_sweep_only(&h, &bench_out, json, sim_threads, &thread_sweep);
+        }
+        return run_perf(
+            &h,
+            &bench_out,
+            baseline.as_deref(),
+            json,
+            sim_threads,
+            &thread_sweep,
+        );
     }
     if run_all {
         ids = all_ids().into_iter().map(String::from).collect();
@@ -322,9 +382,24 @@ fn write_traces(
 }
 
 /// The `perf` path: simulate the full E1..E10 batch (no tables), report
-/// simulator throughput, write a machine-readable `BENCH_sim.json`, and
-/// optionally gate against a previous report.
-fn run_perf(h: &Harness, bench_out: &Path, baseline: Option<&Path>, json: bool) -> ExitCode {
+/// per-simulation and wall-clock-aggregate throughput, sweep one
+/// simulation across sim-thread counts, write a machine-readable
+/// `BENCH_sim.json`, and optionally gate against a previous report.
+///
+/// The two rates answer different questions and must not be conflated:
+/// the *per-simulation* rate (total cycles over summed worker time) is
+/// how fast one simulation progresses — it rises with `--sim-threads`
+/// and is what the regression gate compares, like for like. The
+/// *wall-clock aggregate* rate (total cycles over batch elapsed time)
+/// additionally scales with `--jobs` batch parallelism.
+fn run_perf(
+    h: &Harness,
+    bench_out: &Path,
+    baseline: Option<&Path>,
+    json: bool,
+    sim_threads: usize,
+    thread_sweep: &[usize],
+) -> ExitCode {
     let engine = h.engine();
     let mut specs = Vec::new();
     for id in all_ids() {
@@ -336,19 +411,48 @@ fn run_perf(h: &Harness, bench_out: &Path, baseline: Option<&Path>, json: bool) 
     let summary = engine.summary();
     println!("{summary}");
     println!(
-        "[perf: {} Mcycles in {:.1}s elapsed ({} worker threads), {:.2} Mcycles/s worker throughput]",
+        "[perf: {} Mcycles in {:.1}s elapsed ({} worker threads x {} sim threads); {:.2} Mcycles/s per simulation, {:.2} Mcycles/s wall-clock aggregate]",
         summary.sim_cycles / 1_000_000,
         elapsed.as_secs_f64(),
         summary.jobs,
-        summary.cycles_per_second() / 1e6
+        sim_threads,
+        summary.cycles_per_second() / 1e6,
+        summary.wall_cycles_per_second(elapsed.as_nanos() as u64) / 1e6
     );
+
+    // Per-thread-count throughput of a single simulation (batch-level
+    // `--jobs` parallelism plays no part here). Every sweep run must be
+    // byte-identical — the sweep doubles as a live determinism check.
+    let sweep_entries = match run_thread_sweep(h, sim_threads, thread_sweep) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     // The engine summary is already flat JSON; prepend the batch-level
-    // elapsed time so the report captures both worker and wall time.
-    let payload = format!(
-        "{{\"bench\":\"exp_perf\",\"elapsed_nanos\":{},{}",
+    // elapsed time and wall-clock rate, and append the thread sweep.
+    let mut payload = format!(
+        "{{\"bench\":\"exp_perf\",\"elapsed_nanos\":{},\"wall_cycles_per_second\":{:.1},{}",
         elapsed.as_nanos(),
+        summary.wall_cycles_per_second(elapsed.as_nanos() as u64),
         &summary.to_json()[1..]
     );
+    if !sweep_entries.is_empty() {
+        payload.pop(); // trailing '}'
+        payload.push_str(",\"thread_sweep\":[");
+        for (i, e) in sweep_entries.iter().enumerate() {
+            if i > 0 {
+                payload.push(',');
+            }
+            payload.push_str(&format!(
+                "{{\"sim_threads\":{},\"cycles\":{},\"wall_nanos\":{},\"cps\":{:.1}}}",
+                e.sim_threads, e.cycles, e.wall_nanos, e.cps()
+            ));
+        }
+        payload.push_str("]}");
+    }
     if let Err(e) = std::fs::write(bench_out, format!("{payload}\n")) {
         eprintln!("cannot write {}: {e}", bench_out.display());
         return ExitCode::FAILURE;
@@ -382,6 +486,131 @@ fn run_perf(h: &Harness, bench_out: &Path, baseline: Option<&Path>, json: bool) 
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `perf --sweep-only` path: just the single-simulation thread
+/// sweep, no E1..E10 batch. This is how the large-scale scaling numbers
+/// are recorded without paying for a full batch at that scale. The JSON
+/// deliberately carries no `cycles_per_second` field, so it can never be
+/// mistaken for a gating baseline.
+fn run_perf_sweep_only(
+    h: &Harness,
+    bench_out: &Path,
+    json: bool,
+    sim_threads: usize,
+    thread_sweep: &[usize],
+) -> ExitCode {
+    let sweep_entries = match run_thread_sweep(h, sim_threads, thread_sweep) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut payload = format!(
+        "{{\"bench\":\"exp_perf_sweep\",\"scale\":\"{:?}\",\"thread_sweep\":[",
+        h.scale
+    );
+    for (i, e) in sweep_entries.iter().enumerate() {
+        if i > 0 {
+            payload.push(',');
+        }
+        payload.push_str(&format!(
+            "{{\"sim_threads\":{},\"cycles\":{},\"wall_nanos\":{},\"cps\":{:.1}}}",
+            e.sim_threads, e.cycles, e.wall_nanos, e.cps()
+        ));
+    }
+    payload.push_str("]}");
+    if let Err(e) = std::fs::write(bench_out, format!("{payload}\n")) {
+        eprintln!("cannot write {}: {e}", bench_out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("[wrote {}]", bench_out.display());
+    if json {
+        println!("{payload}");
+    }
+    ExitCode::SUCCESS
+}
+
+/// One measured point of the single-simulation thread sweep.
+struct SweepEntry {
+    sim_threads: usize,
+    cycles: u64,
+    instructions: u64,
+    mem_hash: u64,
+    wall_nanos: u64,
+}
+
+impl SweepEntry {
+    fn cps(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / (self.wall_nanos as f64 / 1e9)
+        }
+    }
+}
+
+/// Runs one representative simulation (`fmaheavy` at the harness scale,
+/// GTO/baseline) once per requested thread count, timing each run and
+/// checking that cycles, instructions, and the memory hash are identical
+/// across all of them. Restores the process-wide `--sim-threads` default
+/// before returning.
+fn run_thread_sweep(
+    h: &Harness,
+    sim_threads: usize,
+    thread_sweep: &[usize],
+) -> Result<Vec<SweepEntry>, String> {
+    use tbs_core::{CtaPolicy, WarpPolicy};
+    let mut entries: Vec<SweepEntry> = Vec::new();
+    for &t in thread_sweep {
+        gpgpu_sim::set_sim_threads_default(t);
+        let mut w = gpgpu_workloads::by_name("fmaheavy", h.scale).expect("suite workload");
+        let factory = WarpPolicy::Gto.factory();
+        let t0 = std::time::Instant::now();
+        let run = gpgpu_workloads::run_workload_with_device(
+            w.as_mut(),
+            h.gpu.clone(),
+            factory.as_ref(),
+            CtaPolicy::Baseline(None).scheduler(),
+            h.max_cycles,
+        );
+        let wall_nanos = t0.elapsed().as_nanos() as u64;
+        gpgpu_sim::set_sim_threads_default(sim_threads);
+        let (outcome, gpu) = run.map_err(|e| format!("thread sweep at {t} threads: {e}"))?;
+        let entry = SweepEntry {
+            sim_threads: t,
+            cycles: outcome.stats.cycles,
+            instructions: outcome.stats.instructions,
+            mem_hash: gpu.mem_ref().content_hash(),
+            wall_nanos,
+        };
+        println!(
+            "[perf sweep: sim-threads {:>2} -> {:.2} Mcycles/s ({} cycles in {:.2}s)]",
+            t,
+            entry.cps() / 1e6,
+            entry.cycles,
+            wall_nanos as f64 / 1e9
+        );
+        if let Some(first) = entries.first() {
+            if (entry.cycles, entry.instructions, entry.mem_hash)
+                != (first.cycles, first.instructions, first.mem_hash)
+            {
+                return Err(format!(
+                    "thread sweep: results at {t} threads diverge from {} threads (cycles {} vs {}, instructions {} vs {}, mem hash {:#x} vs {:#x})",
+                    first.sim_threads,
+                    entry.cycles,
+                    first.cycles,
+                    entry.instructions,
+                    first.instructions,
+                    entry.mem_hash,
+                    first.mem_hash
+                ));
+            }
+        }
+        entries.push(entry);
+    }
+    Ok(entries)
 }
 
 /// Extracts `cycles_per_second` from a previous `BENCH_sim.json` (flat

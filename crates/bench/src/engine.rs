@@ -11,9 +11,11 @@
 //!   — are detected by content key and simulated once, within and across
 //!   experiments.
 //! * **Parallelism.** Unique specs fan out over [`parallel_map`] worker
-//!   threads. Each simulation is single-threaded and deterministic, so
-//!   results are bit-identical to a serial run regardless of the worker
-//!   count or completion order.
+//!   threads. Each simulation is deterministic — including when it steps
+//!   its cores on multiple threads (`--sim-threads`, see
+//!   [`gpgpu_sim::set_sim_threads_default`]) — so results are
+//!   bit-identical to a serial run regardless of the worker count, the
+//!   per-simulation thread count, or completion order.
 //!
 //! The intended shape is two-phase: experiments *plan* (contribute specs),
 //! the engine *executes* the combined batch, then experiments *collect*
@@ -257,6 +259,9 @@ pub struct EngineSummary {
     pub deduped: usize,
     /// Worker-thread count.
     pub jobs: usize,
+    /// Per-simulation core-stepping thread count (the process-wide
+    /// `--sim-threads` default at summary time).
+    pub sim_threads: usize,
     /// Total wall-clock nanoseconds across executed runs (summed over
     /// worker threads, so this can exceed elapsed time).
     pub wall_nanos: u64,
@@ -272,8 +277,12 @@ impl EngineSummary {
         self.executed + self.deduped
     }
 
-    /// Aggregate simulation throughput in device cycles per wall-clock
-    /// second of worker time.
+    /// *Per-simulation* throughput in device cycles per second of worker
+    /// time: each executed run contributes its own wall time once, no
+    /// matter how many `--jobs` workers ran concurrently. This is the
+    /// rate a single simulation progresses at (and what the perf gate
+    /// compares); it rises with `--sim-threads` but is independent of
+    /// batch-level `--jobs` parallelism.
     pub fn cycles_per_second(&self) -> f64 {
         if self.wall_nanos == 0 {
             0.0
@@ -282,14 +291,29 @@ impl EngineSummary {
         }
     }
 
+    /// *Wall-clock aggregate* throughput: total simulated cycles over the
+    /// batch's elapsed time (which the engine does not track — callers
+    /// measure it around `execute_batch`). This rate scales with `--jobs`
+    /// and is the right number for "how fast does the whole batch go",
+    /// while [`cycles_per_second`](Self::cycles_per_second) answers "how
+    /// fast does one simulation go".
+    pub fn wall_cycles_per_second(&self, elapsed_nanos: u64) -> f64 {
+        if elapsed_nanos == 0 {
+            0.0
+        } else {
+            self.sim_cycles as f64 / (elapsed_nanos as f64 / 1e9)
+        }
+    }
+
     /// Renders the summary as one flat JSON object (for `exp --json`).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"executed\":{},\"deduped\":{},\"requested\":{},\"jobs\":{},\"wall_nanos\":{},\"sim_cycles\":{},\"sim_instructions\":{},\"cycles_per_second\":{:.1}}}",
+            "{{\"executed\":{},\"deduped\":{},\"requested\":{},\"jobs\":{},\"sim_threads\":{},\"wall_nanos\":{},\"sim_cycles\":{},\"sim_instructions\":{},\"cycles_per_second\":{:.1}}}",
             self.executed,
             self.deduped,
             self.requested(),
             self.jobs,
+            self.sim_threads,
             self.wall_nanos,
             self.sim_cycles,
             self.sim_instructions,
@@ -302,11 +326,12 @@ impl fmt::Display for EngineSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[{} runs requested: {} simulated, {} deduplicated; {} worker threads; {} Mcycles in {:.1}s worker time ({:.1} Mcycles/s)]",
+            "[{} runs requested: {} simulated, {} deduplicated; {} worker threads x {} sim threads; {} Mcycles in {:.1}s worker time ({:.1} Mcycles/s per simulation)]",
             self.requested(),
             self.executed,
             self.deduped,
             self.jobs,
+            self.sim_threads,
             self.sim_cycles / 1_000_000,
             self.wall_nanos as f64 / 1e9,
             self.cycles_per_second() / 1e6
@@ -442,6 +467,7 @@ impl RunEngine {
             executed: self.runs_executed(),
             deduped: self.runs_deduped(),
             jobs: self.jobs,
+            sim_threads: gpgpu_sim::sim_threads_default(),
             wall_nanos: profiles.iter().map(|p| p.wall_nanos).sum(),
             sim_cycles: profiles.iter().map(|p| p.cycles).sum(),
             sim_instructions: profiles.iter().map(|p| p.instructions).sum(),

@@ -8,9 +8,11 @@
 //!
 //! * **Differential** — the idle fast-forward optimization
 //!   ([`GpuDevice::set_fast_forward`](gpgpu_sim::GpuDevice::set_fast_forward))
-//!   must be bit-identical to the reference cycle-by-cycle loop in
-//!   statistics, telemetry, and final memory, and a repeated run must be
-//!   bit-identical to the first (determinism).
+//!   and parallel core stepping
+//!   ([`GpuDevice::set_sim_threads`](gpgpu_sim::GpuDevice::set_sim_threads))
+//!   must each be bit-identical to the reference sequential
+//!   cycle-by-cycle loop in statistics, telemetry, and final memory, and
+//!   a repeated run must be bit-identical to the first (determinism).
 //! * **Functional** — because the generated kernels are race-free, final
 //!   global memory is computable on the CPU by mirroring each op through
 //!   [`gpgpu_isa::sem::eval_alu`]. Every CTA-scheduling policy in
@@ -446,6 +448,27 @@ pub fn run_case(
     fast_forward: bool,
     telemetry: bool,
 ) -> Result<RunOutput, SimError> {
+    // Inherit the process-wide `--sim-threads` default, so a fuzz sweep
+    // with parallel stepping enabled runs the whole oracle stack under
+    // the worker pool (results are byte-identical either way, and the
+    // explicit sequential-vs-parallel differential checks exactly that).
+    run_case_threads(case, cta, fast_forward, telemetry, gpgpu_sim::sim_threads_default())
+}
+
+/// As [`run_case`], stepping cores with `sim_threads` threads — the
+/// sequential-vs-parallel differential oracle runs every fuzz case
+/// through both paths and demands identical [`RunOutput`]s.
+///
+/// # Errors
+///
+/// As [`run_case`].
+pub fn run_case_threads(
+    case: &FuzzCase,
+    cta: Box<dyn CtaScheduler>,
+    fast_forward: bool,
+    telemetry: bool,
+    sim_threads: usize,
+) -> Result<RunOutput, SimError> {
     let mut cfg = GpuConfig::test_small();
     cfg.max_ctas_per_core = case.max_ctas;
     // A wedged case should fail fast, not burn the whole budget.
@@ -454,6 +477,7 @@ pub fn run_case(
     let factory = warp.factory();
     let mut dev = GpuDevice::new(cfg, factory.as_ref(), cta);
     dev.set_fast_forward(fast_forward);
+    dev.set_sim_threads(sim_threads);
     if telemetry {
         dev.enable_telemetry(TelemetryConfig::new(500), Box::new(MemorySink::new()));
     }
@@ -708,6 +732,29 @@ pub fn check_case_with(
             fails.push(fail("determinism", "two identical runs disagree"));
         }
         (Ok(_), Err(e)) => fails.push(fail("determinism", format!("repeat run failed: {e}"))),
+        _ => {}
+    }
+
+    // Sequential vs parallel: stepping cores on worker threads must be
+    // invisible in every output (stats, memory hash, telemetry, buffers).
+    let parallel = run_case_threads(case, make_sched(baseline), true, true, 4);
+    match (&fast, &parallel) {
+        (Ok(a), Ok(p)) if a != p => {
+            let what = if a.stats != p.stats {
+                "SimStats"
+            } else if a.mem_hash != p.mem_hash {
+                "memory hash"
+            } else if a.telemetry != p.telemetry {
+                "telemetry"
+            } else {
+                "result buffers"
+            };
+            fails.push(fail(
+                "differential",
+                format!("{what} differ between sequential and parallel stepping"),
+            ));
+        }
+        (Ok(_), Err(e)) => fails.push(fail("run", format!("baseline (parallel): {e}"))),
         _ => {}
     }
 

@@ -3,15 +3,23 @@
 //! CTA slot/resource management.
 //!
 //! Execution is *timing-first, functional-now*: an instruction's effects
-//! (register writes, memory updates) happen at issue time, while its
-//! latency is enforced by per-register scoreboard bits that clear when the
-//! modeled writeback completes. Loads additionally hold their destination
-//! register until every coalesced line transaction returns from the memory
-//! hierarchy.
+//! (register writes, memory updates) happen within its issue cycle, while
+//! its latency is enforced by per-register scoreboard bits that clear when
+//! the modeled writeback completes. Loads additionally hold their
+//! destination register until every coalesced line transaction returns
+//! from the memory hierarchy.
+//!
+//! A cycle is split in two phases: a core-local *compute* phase
+//! ([`Core::cycle_compute`]) that may run concurrently across cores, and a
+//! *merge* phase ([`Core::cycle_merge`]) the device runs in fixed core
+//! order to apply staged global-memory operations and fabric traffic. The
+//! split is a pure restructuring of the sequential loop — outputs are
+//! byte-identical at any `--sim-threads` count (see `device.rs` and
+//! `parallel.rs`).
 
 use crate::coalesce::{coalesce, shared_conflict_passes};
 use crate::config::GpuConfig;
-use crate::memory::{GlobalMem, SharedMem};
+use crate::memory::{GlobalMem, GmemOp, SharedMem};
 use crate::sched_api::{
     CtaIssueSample, IssueView, KernelId, WarpMeta, WarpScheduler, WarpSchedulerFactory,
 };
@@ -140,6 +148,29 @@ enum ReadyState {
     ReadyMemShared,
 }
 
+/// Per-cycle staging buffers between the core's *compute* phase and the
+/// device's *merge* phase.
+///
+/// The compute phase (`Core::cycle_compute`) is entirely core-local and
+/// can therefore run on a worker thread; everything that touches shared
+/// device state is deferred here and replayed by the merge phase
+/// (`Core::cycle_merge`) in fixed core order, reproducing the sequential
+/// loop's interleaving exactly. The same staging path runs at
+/// `--sim-threads 1`, so sequential/parallel identity is structural, not
+/// coincidental. Buffers are drained every cycle and keep their capacity,
+/// leaving the steady-state hot path allocation-free.
+#[derive(Debug, Default)]
+struct CoreStaging {
+    /// Fabric responses routed to this core, pre-drained by the device
+    /// before the compute phase starts (per-core crossbar output queues,
+    /// so pre-draining cannot reorder anything).
+    responses: Vec<MemResponse>,
+    /// Functional global-memory operations in issue order.
+    gmem_ops: Vec<GmemOp>,
+    /// CTAs that retired during the compute phase, in retirement order.
+    completions: Vec<CoreCtaCompletion>,
+}
+
 /// One streaming multiprocessor.
 pub struct Core {
     id: usize,
@@ -205,6 +236,8 @@ pub struct Core {
     /// `Option<Warp>` array — the steady-state scan then touches two
     /// cache lines instead of one per slot.
     occupied_mask: Vec<u64>,
+    /// Compute-phase output buffers, drained by the merge phase.
+    staging: CoreStaging,
 }
 
 impl std::fmt::Debug for Core {
@@ -268,6 +301,7 @@ impl Core {
             had_ready_warp: false,
             ready_state: vec![ReadyState::Unknown; cfg.max_warps_per_core as usize],
             occupied_mask: vec![0; ready_words],
+            staging: CoreStaging::default(),
             cfg,
         }
     }
@@ -575,16 +609,74 @@ impl Core {
         }
     }
 
-    /// Advances the core one cycle. Returns CTAs that retired.
+    /// Advances the core one cycle: the compute phase followed immediately
+    /// by this core's merge phase. Convenience for single-core callers
+    /// (unit tests); the device drives the two phases separately so the
+    /// compute phases of all cores can run concurrently.
     pub fn cycle(
         &mut self,
         now: Cycle,
         fabric: &mut MemFabric,
         gmem: &mut GlobalMem,
     ) -> Vec<CoreCtaCompletion> {
+        self.cycle_compute(now);
+        self.cycle_merge(now, fabric, gmem);
+        self.staging.completions.drain(..).collect()
+    }
+
+    /// Queues a fabric response for [`cycle_compute`](Self::cycle_compute)
+    /// to handle (the device pre-drains per-core crossbar queues before
+    /// the compute phase so workers never touch the fabric).
+    pub(crate) fn stage_response(&mut self, resp: MemResponse) {
+        self.staging.responses.push(resp);
+    }
+
+    /// The core-local half of a cycle: staged responses, writebacks, the
+    /// L1 side of the load/store unit, and the issue stage. Touches no
+    /// shared device state — global-memory reads/writes and downstream
+    /// fabric traffic are staged for [`cycle_merge`](Self::cycle_merge) —
+    /// so the device may run this concurrently across cores.
+    pub(crate) fn cycle_compute(&mut self, now: Cycle) {
+        let mut resps = std::mem::take(&mut self.staging.responses);
+        for resp in resps.drain(..) {
+            self.handle_response(now, resp);
+        }
+        self.staging.responses = resps;
         self.process_writebacks(now);
-        self.pump_memory(now, fabric);
-        self.issue(now, gmem)
+        self.pump_l1(now);
+        self.issue(now);
+    }
+
+    /// The shared-state half of a cycle, run by the device in fixed core
+    /// order: replays the staged functional global-memory operations (in
+    /// issue order) and forwards the L1's downstream traffic into the
+    /// fabric. Replaying in core order reproduces the sequential loop's
+    /// memory and fabric interleaving exactly — the determinism argument
+    /// for the parallel core loop rests on this ordering.
+    pub(crate) fn cycle_merge(&mut self, now: Cycle, fabric: &mut MemFabric, gmem: &mut GlobalMem) {
+        let mut ops = std::mem::take(&mut self.staging.gmem_ops);
+        for op in ops.drain(..) {
+            if op.is_store {
+                gmem.apply_store(&op);
+            } else {
+                let w = self.warps[op.warp]
+                    .as_mut()
+                    .expect("warp with a staged load is still resident");
+                for lane in 0..WARP_SIZE {
+                    if op.mask & (1 << lane) != 0 {
+                        w.regs[op.reg as usize][lane] = gmem.read_width(op.addrs[lane], op.width);
+                    }
+                }
+            }
+        }
+        self.staging.gmem_ops = ops;
+        self.forward_downstream(now, fabric);
+    }
+
+    /// Drains the CTAs that retired during the last compute phase, in
+    /// retirement order.
+    pub(crate) fn drain_completions(&mut self) -> std::vec::Drain<'_, CoreCtaCompletion> {
+        self.staging.completions.drain(..)
     }
 
     fn process_writebacks(&mut self, now: Cycle) {
@@ -650,9 +742,11 @@ impl Core {
         }
     }
 
-    /// Drives the load/store unit: L1 accesses for queued transactions and
-    /// forwarding of L1 downstream traffic to the fabric.
-    fn pump_memory(&mut self, now: Cycle, fabric: &mut MemFabric) {
+    /// Drives the L1 side of the load/store unit. The downstream messages
+    /// an access produces stay queued inside the cache until the merge
+    /// phase forwards them ([`forward_downstream`](Self::forward_downstream)) —
+    /// the same cycle, exactly as the former combined pump did.
+    fn pump_l1(&mut self, now: Cycle) {
         // One L1 port: service the head transaction.
         if let Some(&txn) = self.lsq.front() {
             let kind = if txn.is_store {
@@ -681,9 +775,13 @@ impl Core {
                 Access::Fail(_) => {} // structural: retry next cycle
             }
         }
+    }
 
-        // Forward L1 downstream messages (fetches, write-throughs,
-        // writebacks) into the fabric.
+    /// Forwards L1 downstream messages (fetches, write-throughs,
+    /// writebacks) into the fabric until it back-pressures. Runs in the
+    /// merge phase: the fabric is shared, so submissions must happen in
+    /// fixed core order.
+    fn forward_downstream(&mut self, now: Cycle, fabric: &mut MemFabric) {
         loop {
             if self.staged_downstream.is_none() {
                 self.staged_downstream = self.l1.pop_downstream();
@@ -787,9 +885,9 @@ impl Core {
 
     /// The per-scheduler issue stage. Steady-state cycles run entirely on
     /// persistent scratch buffers (candidate list, ready bitmask) — no
-    /// per-cycle allocation.
-    fn issue(&mut self, now: Cycle, gmem: &mut GlobalMem) -> Vec<CoreCtaCompletion> {
-        let mut completions = Vec::new();
+    /// per-cycle allocation. CTA retirements land in the staging buffer
+    /// for the merge phase to drain.
+    fn issue(&mut self, now: Cycle) {
         let nsched = self.schedulers.len();
         let mut schedulers = std::mem::take(&mut self.schedulers);
         let mut candidates = std::mem::take(&mut self.scratch_candidates);
@@ -850,8 +948,8 @@ impl Core {
             // Issuing advances the warp's pc and scoreboard state: its
             // cached verdict is stale.
             self.ready_state[slot] = ReadyState::Unknown;
-            if let Some(c) = self.execute_one(slot, now, gmem) {
-                completions.push(c);
+            if let Some(c) = self.execute_one(slot, now) {
+                self.staging.completions.push(c);
             }
         }
         self.ready_mask = ready;
@@ -862,18 +960,13 @@ impl Core {
                 s.on_warp_finish(slot);
             }
         }
-        completions
     }
 
     /// Executes the next instruction of the warp in `slot` (readiness
     /// already verified). Returns a completion if this retired the warp's
-    /// CTA.
-    fn execute_one(
-        &mut self,
-        slot: usize,
-        now: Cycle,
-        gmem: &mut GlobalMem,
-    ) -> Option<CoreCtaCompletion> {
+    /// CTA. Global-memory effects are staged, not applied — the merge
+    /// phase replays them in core order.
+    fn execute_one(&mut self, slot: usize, now: Cycle) -> Option<CoreCtaCompletion> {
         let cfg = Arc::clone(&self.cfg);
         let Core {
             warps,
@@ -892,6 +985,7 @@ impl Core {
             stats,
             issued_per_kernel,
             ready_state,
+            staging,
             id: core_id,
             ..
         } = self;
@@ -1082,13 +1176,20 @@ impl Core {
                 }
                 match space {
                     MemSpace::Global => {
-                        // Functional read now.
-                        for lane in lanes(exec_mask) {
-                            let v = match width {
-                                AccessWidth::W4 => u64::from(gmem.read_u32(addrs[lane])),
-                                AccessWidth::W8 => gmem.read_u64(addrs[lane]),
-                            };
-                            w.regs[dst.0 as usize][lane] = v;
+                        // Stage the functional read for the merge phase.
+                        // The destination register stays scoreboard-pending
+                        // well past the merge, so nothing can observe it
+                        // before the staged read lands.
+                        if exec_mask != 0 {
+                            staging.gmem_ops.push(GmemOp {
+                                is_store: false,
+                                warp: slot,
+                                reg: dst.0,
+                                width,
+                                addrs,
+                                values: [0; WARP_SIZE],
+                                mask: exec_mask,
+                            });
                         }
                         let lines = coalesce(
                             &addrs,
@@ -1159,12 +1260,23 @@ impl Core {
                 }
                 match space {
                     MemSpace::Global => {
-                        for lane in lanes(exec_mask) {
-                            let v = read(w, src, lane);
-                            match width {
-                                AccessWidth::W4 => gmem.write_u32(addrs[lane], v as u32),
-                                AccessWidth::W8 => gmem.write_u64(addrs[lane], v),
+                        // Stage the functional write with lane values
+                        // captured now (registers are warp-private, so
+                        // they cannot change before the merge applies it).
+                        if exec_mask != 0 {
+                            let mut values = [0u64; WARP_SIZE];
+                            for lane in lanes(exec_mask) {
+                                values[lane] = read(w, src, lane);
                             }
+                            staging.gmem_ops.push(GmemOp {
+                                is_store: true,
+                                warp: slot,
+                                reg: 0,
+                                width,
+                                addrs,
+                                values,
+                                mask: exec_mask,
+                            });
                         }
                         let lines = coalesce(
                             &addrs,

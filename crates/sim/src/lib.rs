@@ -35,6 +35,7 @@ pub mod core_model;
 mod device;
 pub mod invariants;
 mod memory;
+mod parallel;
 pub mod sched_api;
 pub mod simt;
 mod stats;
@@ -42,7 +43,9 @@ pub mod telemetry;
 
 pub use config::GpuConfig;
 pub use core_model::{Core, CoreCtaCompletion, CoreStats};
-pub use device::{set_fast_forward_default, GpuDevice, SimError};
+pub use device::{
+    set_fast_forward_default, set_sim_threads_default, sim_threads_default, GpuDevice, SimError,
+};
 pub use invariants::{assert_conservation, conservation_violations};
 pub use memory::{GlobalMem, SharedMem};
 pub use sched_api::{

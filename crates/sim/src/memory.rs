@@ -5,6 +5,7 @@
 //! results (verifiable by tests), while the timing of each access is
 //! modeled separately by the cache hierarchy and DRAM.
 
+use gpgpu_isa::{AccessWidth, WARP_SIZE};
 use std::collections::HashMap;
 
 const PAGE_BYTES: usize = 4096;
@@ -228,6 +229,66 @@ impl GlobalMem {
         }
         h
     }
+
+    /// Reads one lane value of the given access width.
+    pub(crate) fn read_width(&self, addr: u64, width: AccessWidth) -> u64 {
+        match width {
+            AccessWidth::W4 => u64::from(self.read_u32(addr)),
+            AccessWidth::W8 => self.read_u64(addr),
+        }
+    }
+
+    /// Writes one lane value of the given access width.
+    pub(crate) fn write_width(&mut self, addr: u64, v: u64, width: AccessWidth) {
+        match width {
+            AccessWidth::W4 => self.write_u32(addr, v as u32),
+            AccessWidth::W8 => self.write_u64(addr, v),
+        }
+    }
+
+    /// Applies one staged store in lane order (see [`GmemOp`]).
+    pub(crate) fn apply_store(&mut self, op: &GmemOp) {
+        for lane in 0..WARP_SIZE {
+            if op.mask & (1 << lane) != 0 {
+                self.write_width(op.addrs[lane], op.values[lane], op.width);
+            }
+        }
+    }
+}
+
+/// One functional global-memory operation, staged by a core's issue stage
+/// and replayed against [`GlobalMem`] during the merge phase of the cycle.
+///
+/// Staging exists so that the parallel core loop never touches the shared
+/// functional memory from a worker thread: every cycle, each core appends
+/// the global loads/stores it issued (in issue order) to its private
+/// staging buffer, and the device replays all buffers *in fixed core
+/// order* — reproducing exactly the interleaving the sequential loop
+/// produces, byte for byte, at any thread count. Deferring a load's
+/// functional read from issue to merge is safe because its destination
+/// register stays scoreboard-pending for at least the L1 hit latency, so
+/// no instruction can observe the value before the merge lands it.
+///
+/// For loads, `values` carries nothing on input; for stores it carries the
+/// lane values captured at issue time (register reads are warp-private and
+/// cannot change between issue and merge within a cycle).
+#[derive(Debug, Clone)]
+pub(crate) struct GmemOp {
+    /// `true` for a store (apply `values`), `false` for a load (fill the
+    /// warp's destination register from memory).
+    pub is_store: bool,
+    /// Destination warp slot (loads only).
+    pub warp: usize,
+    /// Destination register index (loads only).
+    pub reg: u8,
+    /// Access width of every lane.
+    pub width: AccessWidth,
+    /// Per-lane byte addresses.
+    pub addrs: [u64; WARP_SIZE],
+    /// Per-lane store values (stores only).
+    pub values: [u64; WARP_SIZE],
+    /// Active lanes.
+    pub mask: u32,
 }
 
 /// A CTA's functional shared-memory scratchpad (byte-addressable,

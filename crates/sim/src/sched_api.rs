@@ -84,7 +84,12 @@ impl<'a> IssueView<'a> {
 /// blocked on the scoreboard, a barrier, or a structural hazard), in
 /// ascending slot order. Returning `None` or a slot not in `candidates`
 /// issues nothing this cycle.
-pub trait WarpScheduler: fmt::Debug {
+///
+/// `Send` because a scheduler instance lives inside its core, and cores
+/// migrate to worker threads when the device steps them in parallel (see
+/// `--sim-threads`). Instances are never shared between threads — each is
+/// only ever driven by the thread stepping its core that cycle.
+pub trait WarpScheduler: fmt::Debug + Send {
     /// Policy name for reports.
     fn name(&self) -> &str;
 

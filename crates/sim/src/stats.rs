@@ -1,4 +1,11 @@
 //! Simulation statistics: per-kernel and whole-run roll-ups.
+//!
+//! Every counter here is **thread-count invariant**: with parallel core
+//! stepping enabled (`GpuDevice::set_sim_threads`), shared counters are
+//! only mutated during the sequential merge phase, in fixed core order,
+//! so a run's [`SimStats`] is byte-identical at any `--sim-threads`
+//! value (enforced by `tests/golden_identity.rs` and the simcheck
+//! sequential-vs-parallel differential oracle).
 
 use crate::core_model::CoreStats;
 use crate::sched_api::KernelId;

@@ -27,7 +27,7 @@
 //! ([`TraceEvent::to_json`] / [`TraceEvent::from_json`]) and samples
 //! render as CSV rows ([`IntervalSample::csv_row`]).
 
-use crate::core_model::Core;
+use crate::parallel::CoreAccess;
 use crate::sched_api::KernelId;
 use gpgpu_mem::{Cycle, MemFabric};
 use std::fmt::Write as _;
@@ -831,7 +831,7 @@ impl Telemetry {
     pub(crate) fn maybe_sample(
         &mut self,
         now: Cycle,
-        cores: &[Core],
+        cores: &mut CoreAccess<'_>,
         fabric: &MemFabric,
         gmem_pages: usize,
     ) {
@@ -848,7 +848,7 @@ impl Telemetry {
     pub(crate) fn final_sample(
         &mut self,
         now: Cycle,
-        cores: &[Core],
+        cores: &mut CoreAccess<'_>,
         fabric: &MemFabric,
         gmem_pages: usize,
     ) {
@@ -866,7 +866,7 @@ impl Telemetry {
         &mut self,
         start: Cycle,
         end: Cycle,
-        cores: &[Core],
+        cores: &mut CoreAccess<'_>,
         fabric: &MemFabric,
         gmem_pages: usize,
     ) {
@@ -877,7 +877,8 @@ impl Telemetry {
             ..IntervalSample::default()
         };
         let mut now = Baseline::default();
-        for core in cores {
+        for i in 0..cores.len() {
+            let core = cores.get(i);
             let cs = core.stats();
             now.instructions += cs.issued;
             now.issued_slots += cs.issued_slots;

@@ -29,13 +29,17 @@ impl fmt::Display for WorkloadClass {
 
 /// Problem-size presets. `Tiny` keeps unit tests fast; `Small` is the
 /// experiment-harness default (enough CTAs for several waves per core);
-/// `Full` approaches paper-scale grids.
+/// `Large` is the long-run tier for parallel-stepping sweeps; `Full`
+/// approaches paper-scale grids.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// A handful of CTAs — seconds of simulation for tests.
     Tiny,
     /// Hundreds of CTAs — the harness default.
     Small,
+    /// Around a thousand CTAs per kernel — long enough per simulation
+    /// that `--sim-threads` scaling dominates batch-level parallelism.
+    Large,
     /// Thousands of CTAs.
     Full,
 }

@@ -44,6 +44,7 @@ pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
         // (streaming n, matrix dim, per-thread-grid n)
         Scale::Tiny => (16 * 1024, 64, 8 * 1024),
         Scale::Small => (192 * 1024, 192, 96 * 1024),
+        Scale::Large => (512 * 1024, 384, 256 * 1024),
         Scale::Full => (1024 * 1024, 512, 512 * 1024),
     };
     vec![

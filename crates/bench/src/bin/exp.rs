@@ -4,301 +4,118 @@
 //! exp --all                     # run E1..E10 at Small scale
 //! exp e3 e5                     # run a subset
 //! exp --quick --all             # Tiny scale (smoke test)
-//! exp --jobs 8 --all            # cap the worker-thread count
-//! exp --out-dir /tmp/csv e3     # write CSVs elsewhere
-//! exp --trace-dir traces e5     # also record time-resolved telemetry
+//! exp --store cache --all       # persistent result store: warm reruns
+//!                               # simulate nothing
+//! exp serve --store cache       # long-running job server
+//! exp submit --all              # run E1..E10 against that server
 //! exp trace                     # telemetry smoke run (no tables)
 //! exp --list                    # show experiment ids
+//! exp <command> --help          # per-command options
 //! ```
 //!
+//! Parsing lives in [`gpgpu_bench::cli`]; this binary only dispatches.
 //! All selected experiments are planned up front and deduplicated through
 //! one shared [`RunEngine`], so a baseline run shared by several
-//! experiments simulates exactly once. Tables are printed and written as
-//! CSV under `results/` (or `--out-dir`).
-//!
-//! With `--trace-dir`, experiments that define trace points (E2, E5, E8)
-//! additionally record an interval-sample series and a structured event
-//! trace for one representative run each, written as
-//! `<label>.intervals.csv` and `<label>.events.jsonl` under the given
-//! directory. Tracing rides on the shared runs — it never adds
-//! simulations.
+//! experiments simulates exactly once — and, with `--store`, at most once
+//! across *processes*. Exit codes are stable: 0 success, 1 runtime
+//! failure, 2 usage error.
 
+use gpgpu_bench::cli::{
+    Cli, Command, CommonArgs, FuzzArgs, Parsed, PerfArgs, RunArgs, ServeArgs, SubmitArgs,
+    TraceArgs, EXIT_RUNTIME, EXIT_USAGE,
+};
 use gpgpu_bench::experiments::{all_ids, collect_experiment, plan_experiment, trace_points};
+use gpgpu_bench::service::{Client, Event, RemoteClient, ServeConfig, Server, Source};
 use gpgpu_bench::simcheck::{check_case, fuzz_seeds, FuzzCase};
-use gpgpu_bench::{Harness, RunEngine, RunSpec};
+use gpgpu_bench::{Harness, ResultStore, RunEngine, RunSpec};
 use gpgpu_sim::TelemetryConfig;
-use gpgpu_workloads::Scale;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-const USAGE: &str = "\
-usage: exp [options] (--all | e1 e2 ... e10 | trace | perf | fuzz)
-  --quick           Tiny workloads (alias for --scale tiny)
-  --scale SCALE     workload scale: tiny | small | large | full
-                    (default small)
-  --jobs N          worker threads for the run engine (default: all cores)
-  --sim-threads N   threads stepping the cores of each simulation
-                    (default 1; results are byte-identical at any value)
-  --out-dir PATH    directory CSVs are written to (default: results/)
-  --trace-dir PATH  record telemetry for E2/E5/E8 trace points into PATH
-  --sample-every N  telemetry sampling interval in cycles (default 1000)
-  --no-fast-forward run the reference cycle-by-cycle loop (results are
-                    bit-identical either way; this is the slow path)
-  --json            also print the run summary as one JSON object
-  --list            list experiment ids
-  --help            show this help
-
-  trace             telemetry smoke run: trace one kernel, write the
-                    trace files (to --trace-dir, default results/traces),
-                    print no tables
-
-  perf              simulator throughput benchmark: run the full E1..E10
-                    batch, report per-simulation and wall-clock-aggregate
-                    cycles/sec, sweep one simulation across sim-thread
-                    counts, write BENCH_sim.json
-    --bench-out PATH  where the JSON report goes (default BENCH_sim.json)
-    --baseline PATH   compare against a previous report; exit nonzero on
-                      a >25% per-simulation cycles/sec regression
-    --thread-sweep L  comma-separated sim-thread counts for the
-                      single-simulation sweep (default 1,2,4; `none`
-                      skips it)
-    --sweep-only      skip the E1..E10 batch and run only the thread
-                      sweep (useful at --scale large, where the batch
-                      would dominate); no baseline gating
-
-  fuzz              deterministic simulation fuzzer: seeded random kernels
-                    run against differential (fast-forward vs reference),
-                    functional (CPU-mirrored memory, invariant across CTA
-                    policies), and conservation oracles; failures shrink
-                    to a reproducer file under --out-dir
-    --seeds A..B      seed window to fuzz (default 0..50)
-    --budget-cycles N per-run cycle budget (default 1000000)
-    --repro FILE      replay one reproducer file instead of fuzzing";
-
-/// Reports a command-line error with the full usage text on stderr, so a
-/// mistyped invocation never fails silently or half-helpfully.
-fn usage_error(msg: &str) -> ExitCode {
-    eprintln!("error: {msg}\n\n{USAGE}");
-    ExitCode::FAILURE
-}
-
-/// Parses the `--seeds A..B` window syntax.
-fn parse_seed_range(s: &str) -> Option<(u64, u64)> {
-    let (lo, hi) = s.split_once("..")?;
-    let (lo, hi) = (lo.parse().ok()?, hi.parse().ok()?);
-    (lo < hi).then_some((lo, hi))
-}
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&args) {
+        Ok(Parsed::Exit(text)) => {
+            // Tolerate a closed pipe (`exp --help | head`): a best-effort
+            // write instead of println!'s broken-pipe panic.
+            let _ = writeln!(std::io::stdout(), "{text}");
+            return ExitCode::SUCCESS;
+        }
+        Ok(Parsed::Cli(cli)) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", gpgpu_bench::cli::usage());
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+
+    // Apply process-wide simulation settings before anything simulates.
+    if !cli.common.fast_forward {
+        gpgpu_sim::set_fast_forward_default(false);
+    }
+    gpgpu_sim::set_sim_threads_default(cli.common.sim_threads);
+
     let mut h = Harness::default();
-    let mut run_all = false;
-    let mut trace_cmd = false;
-    let mut perf_cmd = false;
-    let mut fuzz_cmd = false;
-    let mut bench_out = PathBuf::from("BENCH_sim.json");
-    let mut baseline: Option<PathBuf> = None;
-    let mut trace_dir: Option<PathBuf> = None;
-    let mut sample_every: u64 = 1000;
-    let mut seeds: (u64, u64) = (0, 50);
-    let mut budget_cycles: u64 = 1_000_000;
-    let mut repro: Option<PathBuf> = None;
-    let mut sim_threads: usize = 1;
-    let mut thread_sweep: Vec<usize> = vec![1, 2, 4];
-    let mut sweep_only = false;
-    let mut json = false;
-    let mut ids: Vec<String> = Vec::new();
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--quick" => h.scale = Scale::Tiny,
-            "--all" => run_all = true,
-            "--jobs" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
-                else {
-                    return usage_error("--jobs needs a positive integer");
-                };
-                h.jobs = n;
-            }
-            "--out-dir" => {
-                let Some(dir) = it.next() else {
-                    return usage_error("--out-dir needs a path");
-                };
-                h.out_dir = dir.into();
-            }
-            "--trace-dir" => {
-                let Some(dir) = it.next() else {
-                    return usage_error("--trace-dir needs a path");
-                };
-                trace_dir = Some(dir.into());
-            }
-            "--sample-every" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()).filter(|&n| n > 0)
-                else {
-                    return usage_error("--sample-every needs a positive cycle count");
-                };
-                sample_every = n;
-            }
-            "--json" => json = true,
-            "--no-fast-forward" => gpgpu_sim::set_fast_forward_default(false),
-            "--sim-threads" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()).filter(|&n| n > 0)
-                else {
-                    return usage_error("--sim-threads needs a positive integer");
-                };
-                sim_threads = n;
-                gpgpu_sim::set_sim_threads_default(n);
-            }
-            "--thread-sweep" => {
-                let Some(v) = it.next() else {
-                    return usage_error("--thread-sweep needs a list like 1,2,4 (or none)");
-                };
-                if v == "none" {
-                    thread_sweep.clear();
-                } else {
-                    let Some(list) = v
-                        .split(',')
-                        .map(|s| s.parse::<usize>().ok().filter(|&n| n > 0))
-                        .collect::<Option<Vec<usize>>>()
-                    else {
-                        return usage_error("--thread-sweep needs positive integers like 1,2,4");
-                    };
-                    thread_sweep = list;
-                }
-            }
-            "--sweep-only" => sweep_only = true,
-            "--bench-out" => {
-                let Some(p) = it.next() else {
-                    return usage_error("--bench-out needs a path");
-                };
-                bench_out = p.into();
-            }
-            "--baseline" => {
-                let Some(p) = it.next() else {
-                    return usage_error("--baseline needs a path");
-                };
-                baseline = Some(p.into());
-            }
-            "--scale" => {
-                match it.next().map(String::as_str) {
-                    Some("tiny") => h.scale = Scale::Tiny,
-                    Some("small") => h.scale = Scale::Small,
-                    Some("large") => h.scale = Scale::Large,
-                    Some("full") => h.scale = Scale::Full,
-                    other => {
-                        return usage_error(&format!(
-                            "--scale must be tiny, small, large, or full, got {other:?}"
-                        ));
-                    }
-                }
-            }
-            "--seeds" => {
-                let Some(r) = it.next().and_then(|v| parse_seed_range(v)) else {
-                    return usage_error("--seeds needs a window like 0..200 (start < end)");
-                };
-                seeds = r;
-            }
-            "--budget-cycles" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<u64>().ok()).filter(|&n| n >= 1000)
-                else {
-                    return usage_error("--budget-cycles needs an integer >= 1000");
-                };
-                budget_cycles = n;
-            }
-            "--repro" => {
-                let Some(p) = it.next() else {
-                    return usage_error("--repro needs a reproducer file path");
-                };
-                repro = Some(p.into());
-            }
-            "--list" => {
-                for id in all_ids() {
-                    println!("{id}");
-                }
-                return ExitCode::SUCCESS;
-            }
-            "--help" | "-h" => {
-                println!("{USAGE}");
-                return ExitCode::SUCCESS;
-            }
-            "trace" => trace_cmd = true,
-            "perf" => perf_cmd = true,
-            "fuzz" => fuzz_cmd = true,
-            id if id.starts_with('e') && all_ids().contains(&id) => ids.push(id.to_string()),
-            other => {
-                return usage_error(&format!("unknown argument {other:?}"));
-            }
-        }
+    h.scale = cli.common.scale;
+    if let Some(jobs) = cli.common.jobs {
+        h.jobs = jobs;
     }
-    if trace_cmd && trace_dir.is_none() {
-        trace_dir = Some(h.out_dir.join("traces"));
-    }
-    // Fail on an unusable trace directory before simulating anything.
-    if let Some(dir) = &trace_dir {
-        if let Err(e) = ensure_writable_dir(dir) {
-            return usage_error(&format!(
-                "cannot write to trace dir {}: {e}",
-                dir.display()
-            ));
-        }
-    }
-    if fuzz_cmd {
-        return run_fuzz(&h, seeds, budget_cycles, repro.as_deref());
-    }
-    if trace_cmd {
-        return run_trace_smoke(&h, &trace_dir.expect("defaulted above"), sample_every, json);
-    }
-    if perf_cmd {
-        if sweep_only {
-            if baseline.is_some() {
-                return usage_error("--sweep-only runs no batch, so --baseline cannot gate");
-            }
-            if thread_sweep.is_empty() {
-                return usage_error("--sweep-only with --thread-sweep none would do nothing");
-            }
-            return run_perf_sweep_only(&h, &bench_out, json, sim_threads, &thread_sweep);
-        }
-        return run_perf(
-            &h,
-            &bench_out,
-            baseline.as_deref(),
-            json,
-            sim_threads,
-            &thread_sweep,
-        );
-    }
-    if run_all {
-        ids = all_ids().into_iter().map(String::from).collect();
-    }
-    if ids.is_empty() {
-        return usage_error("nothing to run; pass --all, experiment ids, or a subcommand");
+    if let Some(dir) = &cli.common.out_dir {
+        h.out_dir = dir.clone();
     }
 
-    let total = std::time::Instant::now();
+    let store = match open_store(&cli.common) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
 
-    // Plan every selected experiment up front so the engine can dedup
-    // shared specs (e.g. the GTO baseline) across experiments, then
-    // execute the unique remainder on the worker pool. Trace points are
-    // batched alongside, upgrading the shared runs with telemetry.
-    let engine = h.engine();
-    let mut specs = Vec::new();
-    for id in &ids {
-        specs.extend(plan_experiment(id, &h));
-    }
-    let mut traces: Vec<(String, RunSpec)> = Vec::new();
-    if trace_dir.is_some() {
-        let cfg = TelemetryConfig::new(sample_every);
-        for id in &ids {
-            traces.extend(trace_points(id, &h, cfg));
+    match cli.command {
+        Command::Run(args) => run_experiments(&h, &cli.common, args, store),
+        Command::Trace(args) => run_trace_smoke(&h, &cli.common, args, store),
+        Command::Perf(args) => {
+            if args.sweep_only {
+                run_perf_sweep_only(&h, &args, cli.common.json, cli.common.sim_threads)
+            } else {
+                run_perf(&h, &args, cli.common.json, cli.common.sim_threads)
+            }
         }
-        specs.extend(traces.iter().map(|(_, s)| s.clone()));
+        Command::Fuzz(args) => run_fuzz(&h, &args),
+        Command::Serve(args) => run_serve(&h, args, store),
+        Command::Submit(args) => run_submit(&h, &cli.common, args),
     }
-    engine.execute_batch(&specs);
+}
 
-    for id in &ids {
+/// Opens `--store` (when given), failing fast on an unusable directory.
+fn open_store(common: &CommonArgs) -> Result<Option<Arc<ResultStore>>, ExitCode> {
+    let Some(dir) = &common.store_dir else {
+        return Ok(None);
+    };
+    match ResultStore::open(dir) {
+        Ok(s) => Ok(Some(Arc::new(s))),
+        Err(e) => {
+            eprintln!("error: cannot open store {}: {e}", dir.display());
+            Err(ExitCode::from(EXIT_RUNTIME))
+        }
+    }
+}
+
+/// Creates `dir` if needed and verifies files can actually be created in
+/// it (catches read-only mounts and paths under non-directories early).
+fn ensure_writable_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let probe = dir.join(".write-probe");
+    std::fs::File::create(&probe)?;
+    std::fs::remove_file(&probe)
+}
+
+/// Collects `ids` from `engine` and writes each table as CSV under the
+/// harness out-dir (shared by `run` and `submit`, which must produce
+/// byte-identical files from the same results).
+fn collect_and_write(h: &Harness, ids: &[String], engine: &RunEngine) -> ExitCode {
+    for id in ids {
         let t0 = std::time::Instant::now();
-        let tables = collect_experiment(id, &h, &engine);
+        let tables = collect_experiment(id, h, engine);
         for (i, table) in tables.iter().enumerate() {
             println!("{table}");
             let path = if tables.len() == 1 {
@@ -312,15 +129,72 @@ fn main() -> ExitCode {
         }
         println!("[{id} collected in {:.1?}]\n", t0.elapsed());
     }
-    if let Some(dir) = &trace_dir {
+    ExitCode::SUCCESS
+}
+
+/// The default `run` path: plan, execute (through the store when given),
+/// collect, write CSVs and traces.
+fn run_experiments(
+    h: &Harness,
+    common: &CommonArgs,
+    args: RunArgs,
+    store: Option<Arc<ResultStore>>,
+) -> ExitCode {
+    let ids: Vec<String> = if args.all {
+        all_ids().into_iter().map(String::from).collect()
+    } else {
+        args.ids.clone()
+    };
+    // Fail on an unusable trace directory before simulating anything —
+    // a bad argument value, so it reports as a usage error.
+    if let Some(dir) = &args.trace_dir {
+        if let Err(e) = ensure_writable_dir(dir) {
+            eprintln!(
+                "error: cannot write to trace dir {}: {e}\n\n{}",
+                dir.display(),
+                gpgpu_bench::cli::usage()
+            );
+            return ExitCode::from(EXIT_USAGE);
+        }
+    }
+
+    let total = std::time::Instant::now();
+
+    // Plan every selected experiment up front so the engine can dedup
+    // shared specs (e.g. the GTO baseline) across experiments, then
+    // execute the unique remainder on the worker pool. Trace points are
+    // batched alongside, upgrading the shared runs with telemetry.
+    let mut engine = h.engine();
+    if let Some(store) = store {
+        engine.attach_store(store);
+    }
+    let mut specs = Vec::new();
+    for id in &ids {
+        specs.extend(plan_experiment(id, h));
+    }
+    let mut traces: Vec<(String, RunSpec)> = Vec::new();
+    if args.trace_dir.is_some() {
+        let cfg = TelemetryConfig::new(args.sample_every);
+        for id in &ids {
+            traces.extend(trace_points(id, h, cfg));
+        }
+        specs.extend(traces.iter().map(|(_, s)| s.clone()));
+    }
+    engine.execute_batch(&specs);
+
+    let code = collect_and_write(h, &ids, &engine);
+    if code != ExitCode::SUCCESS {
+        return code;
+    }
+    if let Some(dir) = &args.trace_dir {
         if let Err(e) = write_traces(dir, &traces, &engine) {
             eprintln!("error writing traces: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_RUNTIME);
         }
     }
     let summary = engine.summary();
     println!("{summary}");
-    if json {
+    if common.json {
         println!("{}", summary.to_json());
     }
     // Diagnostics: per-run wall-clock ranking, for finding which
@@ -340,15 +214,6 @@ fn main() -> ExitCode {
     }
     println!("[all experiments took {:.1?}]", total.elapsed());
     ExitCode::SUCCESS
-}
-
-/// Creates `dir` if needed and verifies files can actually be created in
-/// it (catches read-only mounts and paths under non-directories early).
-fn ensure_writable_dir(dir: &Path) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-    let probe = dir.join(".write-probe");
-    std::fs::File::create(&probe)?;
-    std::fs::remove_file(&probe)
 }
 
 /// Writes each trace point's event trace and interval series under `dir`.
@@ -381,6 +246,131 @@ fn write_traces(
     Ok(())
 }
 
+/// The `serve` path: bind, announce, accept until shut down.
+fn run_serve(h: &Harness, args: ServeArgs, store: Option<Arc<ResultStore>>) -> ExitCode {
+    let cfg = ServeConfig {
+        addr: args.addr,
+        jobs: h.jobs,
+        queue_cap: args.queue_cap,
+        progress_every: args.progress_every,
+        store,
+    };
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            return ExitCode::from(EXIT_RUNTIME);
+        }
+    };
+    println!("[serve: listening on {} ({} workers)]", server.local_addr(), h.jobs);
+    match server.run() {
+        Ok(()) => {
+            println!("[serve: shut down cleanly]");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            ExitCode::from(EXIT_RUNTIME)
+        }
+    }
+}
+
+/// The `submit` path: plan locally, run the batch on a server, seed a
+/// local engine with the returned results, and collect the same tables a
+/// local `run` would produce — byte-identically.
+fn run_submit(h: &Harness, common: &CommonArgs, args: SubmitArgs) -> ExitCode {
+    let client = RemoteClient::new(args.addr.clone());
+    let ids: Vec<String> = if args.all {
+        all_ids().into_iter().map(String::from).collect()
+    } else {
+        args.ids.clone()
+    };
+    if !ids.is_empty() {
+        let mut specs = Vec::new();
+        for id in &ids {
+            specs.extend(plan_experiment(id, h));
+        }
+        println!(
+            "[submit: {} specs from {} experiment(s) -> {}]",
+            specs.len(),
+            ids.len(),
+            args.addr
+        );
+        let t0 = std::time::Instant::now();
+        let mut client = client;
+        let mut started = 0usize;
+        let items = client.run_batch_observed(&specs, &mut |event| match event {
+            Event::Accepted { runs, unique } => {
+                println!("[submit: accepted {runs} runs ({unique} unique)]");
+            }
+            Event::RunStarted { .. } => {
+                started += 1;
+                println!("[submit: run {started} started on server]");
+            }
+            Event::RunProgress {
+                cycle,
+                instructions,
+                ..
+            } => {
+                println!("[submit: in flight at cycle {cycle}, {instructions} instructions]");
+            }
+            _ => {}
+        });
+        let items = match items {
+            Ok(items) => items,
+            Err(e) => {
+                eprintln!("error: submit failed: {e}");
+                return ExitCode::from(EXIT_RUNTIME);
+            }
+        };
+        let (mut simulated, mut cached, mut coalesced) = (0usize, 0usize, 0usize);
+        for item in &items {
+            match item.source {
+                Source::Simulated => simulated += 1,
+                Source::Cached => cached += 1,
+                Source::Coalesced => coalesced += 1,
+            }
+        }
+        println!(
+            "[submit: {} results in {:.1?} ({simulated} simulated, {cached} cached, {coalesced} coalesced)]",
+            items.len(),
+            t0.elapsed()
+        );
+        // Seed a local engine with the remote results; collect phases
+        // then tabulate exactly as a local run would.
+        let engine = RunEngine::new(h.jobs);
+        for (spec, item) in specs.iter().zip(&items) {
+            engine.seed_result(spec, Arc::clone(&item.result));
+        }
+        let code = collect_and_write(h, &ids, &engine);
+        if code != ExitCode::SUCCESS {
+            return code;
+        }
+        if common.json {
+            println!("{}", engine.summary().to_json());
+        }
+        if args.shutdown {
+            if let Err(e) = RemoteClient::new(args.addr).shutdown() {
+                eprintln!("error: shutdown failed: {e}");
+                return ExitCode::from(EXIT_RUNTIME);
+            }
+            println!("[submit: server asked to shut down]");
+        }
+        return ExitCode::SUCCESS;
+    }
+    // --shutdown alone.
+    match client.shutdown() {
+        Ok(()) => {
+            println!("[submit: server asked to shut down]");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: shutdown failed: {e}");
+            ExitCode::from(EXIT_RUNTIME)
+        }
+    }
+}
+
 /// The `perf` path: simulate the full E1..E10 batch (no tables), report
 /// per-simulation and wall-clock-aggregate throughput, sweep one
 /// simulation across sim-thread counts, write a machine-readable
@@ -392,14 +382,10 @@ fn write_traces(
 /// and is what the regression gate compares, like for like. The
 /// *wall-clock aggregate* rate (total cycles over batch elapsed time)
 /// additionally scales with `--jobs` batch parallelism.
-fn run_perf(
-    h: &Harness,
-    bench_out: &Path,
-    baseline: Option<&Path>,
-    json: bool,
-    sim_threads: usize,
-    thread_sweep: &[usize],
-) -> ExitCode {
+///
+/// Deliberately runs without the store: a warm store would satisfy runs
+/// without simulating and fake the throughput numbers.
+fn run_perf(h: &Harness, args: &PerfArgs, json: bool, sim_threads: usize) -> ExitCode {
     let engine = h.engine();
     let mut specs = Vec::new();
     for id in all_ids() {
@@ -423,11 +409,11 @@ fn run_perf(
     // Per-thread-count throughput of a single simulation (batch-level
     // `--jobs` parallelism plays no part here). Every sweep run must be
     // byte-identical — the sweep doubles as a live determinism check.
-    let sweep_entries = match run_thread_sweep(h, sim_threads, thread_sweep) {
+    let sweep_entries = match run_thread_sweep(h, sim_threads, &args.thread_sweep) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_RUNTIME);
         }
     };
 
@@ -453,24 +439,24 @@ fn run_perf(
         }
         payload.push_str("]}");
     }
-    if let Err(e) = std::fs::write(bench_out, format!("{payload}\n")) {
-        eprintln!("cannot write {}: {e}", bench_out.display());
-        return ExitCode::FAILURE;
+    if let Err(e) = std::fs::write(&args.bench_out, format!("{payload}\n")) {
+        eprintln!("cannot write {}: {e}", args.bench_out.display());
+        return ExitCode::from(EXIT_RUNTIME);
     }
-    println!("[wrote {}]", bench_out.display());
+    println!("[wrote {}]", args.bench_out.display());
     if json {
         println!("{payload}");
     }
-    if let Some(base) = baseline {
+    if let Some(base) = &args.baseline {
         let base_cps = match read_baseline_cps(base) {
             Ok(v) if v > 0.0 => v,
             Ok(_) => {
                 eprintln!("baseline {} has no positive cycles_per_second", base.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_RUNTIME);
             }
             Err(e) => {
                 eprintln!("cannot read baseline {}: {e}", base.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_RUNTIME);
             }
         };
         let cps = summary.cycles_per_second();
@@ -482,7 +468,7 @@ fn run_perf(
         );
         if cps < base_cps * 0.75 {
             eprintln!("perf regression: throughput is >25% below the baseline");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_RUNTIME);
         }
     }
     ExitCode::SUCCESS
@@ -493,18 +479,12 @@ fn run_perf(
 /// are recorded without paying for a full batch at that scale. The JSON
 /// deliberately carries no `cycles_per_second` field, so it can never be
 /// mistaken for a gating baseline.
-fn run_perf_sweep_only(
-    h: &Harness,
-    bench_out: &Path,
-    json: bool,
-    sim_threads: usize,
-    thread_sweep: &[usize],
-) -> ExitCode {
-    let sweep_entries = match run_thread_sweep(h, sim_threads, thread_sweep) {
+fn run_perf_sweep_only(h: &Harness, args: &PerfArgs, json: bool, sim_threads: usize) -> ExitCode {
+    let sweep_entries = match run_thread_sweep(h, sim_threads, &args.thread_sweep) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_RUNTIME);
         }
     };
     let mut payload = format!(
@@ -521,11 +501,11 @@ fn run_perf_sweep_only(
         ));
     }
     payload.push_str("]}");
-    if let Err(e) = std::fs::write(bench_out, format!("{payload}\n")) {
-        eprintln!("cannot write {}: {e}", bench_out.display());
-        return ExitCode::FAILURE;
+    if let Err(e) = std::fs::write(&args.bench_out, format!("{payload}\n")) {
+        eprintln!("cannot write {}: {e}", args.bench_out.display());
+        return ExitCode::from(EXIT_RUNTIME);
     }
-    println!("[wrote {}]", bench_out.display());
+    println!("[wrote {}]", args.bench_out.display());
     if json {
         println!("{payload}");
     }
@@ -629,20 +609,20 @@ fn read_baseline_cps(path: &Path) -> Result<f64, String> {
 /// The `fuzz` path: either replay one reproducer file, or fuzz a seed
 /// window and write a shrunk reproducer per failing seed under the
 /// harness's out-dir. Exits nonzero when any oracle fired.
-fn run_fuzz(h: &Harness, seeds: (u64, u64), budget: u64, repro: Option<&Path>) -> ExitCode {
-    if let Some(path) = repro {
+fn run_fuzz(h: &Harness, args: &FuzzArgs) -> ExitCode {
+    if let Some(path) = &args.repro {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
             Err(e) => {
                 eprintln!("cannot read reproducer {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_RUNTIME);
             }
         };
         let case = match FuzzCase::from_repro(&text) {
             Ok(c) => c,
             Err(e) => {
                 eprintln!("bad reproducer {}: {e}", path.display());
-                return ExitCode::FAILURE;
+                return ExitCode::from(EXIT_RUNTIME);
             }
         };
         println!("[fuzz: replaying {}]", path.display());
@@ -655,12 +635,12 @@ fn run_fuzz(h: &Harness, seeds: (u64, u64), budget: u64, repro: Option<&Path>) -
             println!("{f}");
         }
         println!("[fuzz: {} oracle failure(s)]", failures.len());
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_RUNTIME);
     }
 
-    let (lo, hi) = seeds;
+    let (lo, hi) = args.seeds;
     let t0 = std::time::Instant::now();
-    let failures = fuzz_seeds(lo, hi, budget, h.jobs);
+    let failures = fuzz_seeds(lo, hi, args.budget_cycles, h.jobs);
     if failures.is_empty() {
         println!(
             "[fuzz: seeds {lo}..{hi} clean ({} cases, {} oracle runs each) in {:.1?}]",
@@ -672,7 +652,7 @@ fn run_fuzz(h: &Harness, seeds: (u64, u64), budget: u64, repro: Option<&Path>) -
     }
     if let Err(e) = ensure_writable_dir(&h.out_dir) {
         eprintln!("cannot write to out dir {}: {e}", h.out_dir.display());
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_RUNTIME);
     }
     for f in &failures {
         println!("seed {} failed {} oracle check(s):", f.seed, f.failures.len());
@@ -694,24 +674,43 @@ fn run_fuzz(h: &Harness, seeds: (u64, u64), budget: u64, repro: Option<&Path>) -
         hi - lo,
         t0.elapsed()
     );
-    ExitCode::FAILURE
+    ExitCode::from(EXIT_RUNTIME)
 }
 
 /// The `trace` smoke path: one traced kernel, trace files written, no
 /// tables. Exists so CI (and humans) can exercise the full telemetry
 /// pipeline in seconds.
-fn run_trace_smoke(h: &Harness, dir: &Path, sample_every: u64, json: bool) -> ExitCode {
-    let engine = h.engine();
-    let traces = trace_points("e5", h, TelemetryConfig::new(sample_every));
+fn run_trace_smoke(
+    h: &Harness,
+    common: &CommonArgs,
+    args: TraceArgs,
+    store: Option<Arc<ResultStore>>,
+) -> ExitCode {
+    let dir: PathBuf = args
+        .trace_dir
+        .unwrap_or_else(|| h.out_dir.join("traces"));
+    if let Err(e) = ensure_writable_dir(&dir) {
+        eprintln!(
+            "error: cannot write to trace dir {}: {e}\n\n{}",
+            dir.display(),
+            gpgpu_bench::cli::usage()
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+    let mut engine = h.engine();
+    if let Some(store) = store {
+        engine.attach_store(store);
+    }
+    let traces = trace_points("e5", h, TelemetryConfig::new(args.sample_every));
     let specs: Vec<RunSpec> = traces.iter().map(|(_, s)| s.clone()).collect();
     engine.execute_batch(&specs);
-    if let Err(e) = write_traces(dir, &traces, &engine) {
+    if let Err(e) = write_traces(&dir, &traces, &engine) {
         eprintln!("error writing traces: {e}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(EXIT_RUNTIME);
     }
     let summary = engine.summary();
     println!("{summary}");
-    if json {
+    if common.json {
         println!("{}", summary.to_json());
     }
     ExitCode::SUCCESS

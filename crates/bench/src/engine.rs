@@ -142,20 +142,16 @@ impl RunSpec {
 
     /// The stable content key identifying this run.
     ///
-    /// Derived from every *simulation-affecting* field (the GPU config via
-    /// its complete `Debug` field dump), so any difference in
-    /// configuration yields a different key and exact duplicates collapse
-    /// to one. The `telemetry` request is excluded — it observes a run
-    /// without changing its results.
+    /// Derivation lives in one documented place —
+    /// [`codec::content_key`](crate::codec::content_key) — shared by the
+    /// in-memory memo table, the persistent
+    /// [`ResultStore`](crate::store::ResultStore), and the `exp serve`
+    /// coalescing map, and pinned by a golden test so accidental drift
+    /// (which would silently invalidate every stored result) fails CI.
+    /// The `telemetry` request is excluded — it observes a run without
+    /// changing its results.
     pub fn key(&self) -> RunKey {
-        let kind = match &self.kind {
-            RunKind::Single { workload } => format!("single:{workload}"),
-            RunKind::Pair { a, b, serial } => format!("pair:{a}+{b}:serial={serial}"),
-        };
-        RunKey(format!(
-            "{kind}|scale={:?}|warp={}|cta={}|max_cycles={}|gpu={:?}",
-            self.scale, self.warp, self.cta, self.max_cycles, self.gpu
-        ))
+        RunKey(crate::codec::content_key(self))
     }
 }
 
@@ -222,6 +218,22 @@ pub struct RunEngine {
     profiles: Mutex<Vec<RunProfile>>,
     executed: AtomicUsize,
     deduped: AtomicUsize,
+    store_hits: AtomicUsize,
+    store: Option<Arc<crate::store::ResultStore>>,
+    progress: Option<ProgressHook>,
+}
+
+/// An observer of in-flight simulations: called from the worker thread
+/// running a spec, every `every_cycles` device cycles, with the run's
+/// key, current cycle, and instructions issued so far. Observation only —
+/// it cannot affect results (`exp serve` uses it to stream `run_progress`
+/// events to clients).
+#[derive(Clone)]
+pub struct ProgressHook {
+    /// Device-cycle interval between callbacks.
+    pub every_cycles: u64,
+    /// The callback itself.
+    pub callback: Arc<dyn Fn(&RunKey, u64, u64) + Send + Sync>,
 }
 
 /// Wall-clock profile of one executed run (one entry per simulation, in
@@ -257,6 +269,8 @@ pub struct EngineSummary {
     pub executed: usize,
     /// Requested runs satisfied from the memo table.
     pub deduped: usize,
+    /// Requested runs satisfied from the persistent result store.
+    pub store_hits: usize,
     /// Worker-thread count.
     pub jobs: usize,
     /// Per-simulation core-stepping thread count (the process-wide
@@ -272,9 +286,9 @@ pub struct EngineSummary {
 }
 
 impl EngineSummary {
-    /// Total runs requested (executed + deduplicated).
+    /// Total runs requested (executed + deduplicated + store hits).
     pub fn requested(&self) -> usize {
-        self.executed + self.deduped
+        self.executed + self.deduped + self.store_hits
     }
 
     /// *Per-simulation* throughput in device cycles per second of worker
@@ -306,11 +320,15 @@ impl EngineSummary {
     }
 
     /// Renders the summary as one flat JSON object (for `exp --json`).
+    /// Carries [`codec::SCHEMA_VERSION`](crate::codec::SCHEMA_VERSION) so
+    /// downstream consumers can gate on compatibility.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"executed\":{},\"deduped\":{},\"requested\":{},\"jobs\":{},\"sim_threads\":{},\"wall_nanos\":{},\"sim_cycles\":{},\"sim_instructions\":{},\"cycles_per_second\":{:.1}}}",
+            "{{\"schema_version\":\"{}\",\"executed\":{},\"deduped\":{},\"store_hits\":{},\"requested\":{},\"jobs\":{},\"sim_threads\":{},\"wall_nanos\":{},\"sim_cycles\":{},\"sim_instructions\":{},\"cycles_per_second\":{:.1}}}",
+            crate::codec::SCHEMA_VERSION,
             self.executed,
             self.deduped,
+            self.store_hits,
             self.requested(),
             self.jobs,
             self.sim_threads,
@@ -326,10 +344,11 @@ impl fmt::Display for EngineSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[{} runs requested: {} simulated, {} deduplicated; {} worker threads x {} sim threads; {} Mcycles in {:.1}s worker time ({:.1} Mcycles/s per simulation)]",
+            "[{} runs requested: {} simulated, {} deduplicated, {} from store; {} worker threads x {} sim threads; {} Mcycles in {:.1}s worker time ({:.1} Mcycles/s per simulation)]",
             self.requested(),
             self.executed,
             self.deduped,
+            self.store_hits,
             self.jobs,
             self.sim_threads,
             self.sim_cycles / 1_000_000,
@@ -348,6 +367,90 @@ impl RunEngine {
             profiles: Mutex::new(Vec::new()),
             executed: AtomicUsize::new(0),
             deduped: AtomicUsize::new(0),
+            store_hits: AtomicUsize::new(0),
+            store: None,
+            progress: None,
+        }
+    }
+
+    /// Attaches a persistent [`ResultStore`](crate::store::ResultStore):
+    /// from now on the engine consults it before simulating (specs
+    /// requesting telemetry still simulate, since stored entries don't
+    /// rebuild in-memory telemetry) and persists every result it
+    /// executes. Share one store between engines — or between processes —
+    /// to never simulate the same spec twice anywhere.
+    pub fn attach_store(&mut self, store: Arc<crate::store::ResultStore>) {
+        self.store = Some(store);
+    }
+
+    /// The attached store, if any.
+    pub fn store(&self) -> Option<&Arc<crate::store::ResultStore>> {
+        self.store.as_ref()
+    }
+
+    /// Installs a [`ProgressHook`] observing in-flight simulations (used
+    /// by `exp serve` to stream per-run progress). Observation only:
+    /// results are byte-identical with or without a hook.
+    pub fn set_progress(&mut self, hook: ProgressHook) {
+        self.progress = Some(hook);
+    }
+
+    /// Adopts an externally produced result (e.g. one fetched from an
+    /// `exp serve` server) into the memo table, so collect phases can
+    /// tabulate it exactly as if this engine had simulated it. Counts as
+    /// neither executed nor deduplicated; later duplicates of the spec
+    /// dedup against it as usual.
+    pub fn seed_result(&self, spec: &RunSpec, result: Arc<RunResult>) {
+        self.memo
+            .lock()
+            .expect("not poisoned")
+            .insert(spec.key(), result);
+    }
+
+    /// Consults the attached store for `spec` (memo-miss path). On a hit
+    /// the result is memoized and counted.
+    fn load_from_store(&self, key: &RunKey, spec: &RunSpec) -> Option<Arc<RunResult>> {
+        if spec.telemetry.is_some() {
+            return None; // stored entries cannot satisfy a telemetry request
+        }
+        let hit = self.store.as_ref()?.load(spec)?;
+        let result = Arc::new(hit.result);
+        self.store_hits.fetch_add(1, Ordering::Relaxed);
+        let mut memo = self.memo.lock().expect("not poisoned");
+        Some(Arc::clone(
+            memo.entry(key.clone()).or_insert(result),
+        ))
+    }
+
+    /// Persists an executed result to the attached store (best-effort: a
+    /// full disk must not fail the batch, so errors only warn).
+    fn save_to_store(&self, spec: &RunSpec, result: &RunResult, wall_nanos: u64) {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save(spec, result, wall_nanos) {
+                eprintln!(
+                    "warning: could not persist result to store {}: {e}",
+                    store.root().display()
+                );
+            }
+        }
+    }
+
+    /// Runs `spec` with this engine's progress hook (if any) installed on
+    /// the current thread for the duration.
+    fn execute_observed(&self, key: &RunKey, spec: &RunSpec) -> RunResult {
+        match &self.progress {
+            None => execute_spec(spec),
+            Some(hook) => {
+                let key = key.clone();
+                let cb = Arc::clone(&hook.callback);
+                gpgpu_sim::set_thread_progress(
+                    hook.every_cycles,
+                    Arc::new(move |cycle, instructions| cb(&key, cycle, instructions)),
+                );
+                let result = execute_spec(spec);
+                gpgpu_sim::clear_thread_progress();
+                result
+            }
         }
     }
 
@@ -384,14 +487,21 @@ impl RunEngine {
                 }
             }
         }
+        // Persistent-store pass: anything already on disk skips the
+        // worker pool entirely. (Telemetry-requesting specs always
+        // simulate — see `attach_store`.)
+        if self.store.is_some() {
+            fresh.retain(|(key, spec)| self.load_from_store(key, spec).is_none());
+        }
         let jobs: Vec<_> = fresh
             .iter()
-            .map(|(_, spec)| {
-                let spec = spec.clone();
+            .map(|(key, spec)| {
                 move || {
                     let t0 = Instant::now();
-                    let result = execute_spec(&spec);
-                    (result, t0.elapsed().as_nanos() as u64)
+                    let result = self.execute_observed(key, spec);
+                    let wall_nanos = t0.elapsed().as_nanos() as u64;
+                    self.save_to_store(spec, &result, wall_nanos);
+                    (result, wall_nanos)
                 }
             })
             .collect();
@@ -424,9 +534,13 @@ impl RunEngine {
         if let Some(r) = self.memo.lock().expect("not poisoned").get(&key) {
             return Arc::clone(r);
         }
+        if let Some(r) = self.load_from_store(&key, spec) {
+            return r;
+        }
         let t0 = Instant::now();
-        let result = Arc::new(execute_spec(spec));
+        let result = Arc::new(self.execute_observed(&key, spec));
         let wall_nanos = t0.elapsed().as_nanos() as u64;
+        self.save_to_store(spec, &result, wall_nanos);
         self.executed.fetch_add(1, Ordering::Relaxed);
         self.profiles.lock().expect("not poisoned").push(RunProfile {
             key: key.clone(),
@@ -438,6 +552,18 @@ impl RunEngine {
         Arc::clone(memo.entry(key).or_insert(result))
     }
 
+    /// The result for `spec` if it can be served without simulating —
+    /// from the memo table or the attached store — and `None` otherwise.
+    /// Unlike [`get`](Self::get) this never executes, so callers (e.g.
+    /// the job server) can classify a request as a hit before queueing it.
+    pub fn lookup(&self, spec: &RunSpec) -> Option<Arc<RunResult>> {
+        let key = spec.key();
+        if let Some(r) = self.memo.lock().expect("not poisoned").get(&key) {
+            return Some(Arc::clone(r));
+        }
+        self.load_from_store(&key, spec)
+    }
+
     /// Number of simulations actually executed.
     pub fn runs_executed(&self) -> usize {
         self.executed.load(Ordering::Relaxed)
@@ -447,6 +573,11 @@ impl RunEngine {
     /// being re-simulated.
     pub fn runs_deduped(&self) -> usize {
         self.deduped.load(Ordering::Relaxed)
+    }
+
+    /// Number of requested runs satisfied from the persistent store.
+    pub fn runs_from_store(&self) -> usize {
+        self.store_hits.load(Ordering::Relaxed)
     }
 
     /// Worker-thread count this engine fans out over.
@@ -466,6 +597,7 @@ impl RunEngine {
         EngineSummary {
             executed: self.runs_executed(),
             deduped: self.runs_deduped(),
+            store_hits: self.runs_from_store(),
             jobs: self.jobs,
             sim_threads: gpgpu_sim::sim_threads_default(),
             wall_nanos: profiles.iter().map(|p| p.wall_nanos).sum(),

@@ -14,12 +14,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+pub mod codec;
 pub mod engine;
 pub mod experiments;
+pub mod json;
+pub mod service;
 pub mod simcheck;
+pub mod store;
 pub mod table;
 
 pub use engine::{EngineSummary, RunEngine, RunKey, RunKind, RunProfile, RunResult, RunSpec};
+pub use store::ResultStore;
 pub use table::Table;
 
 use gpgpu_sim::GpuConfig;

@@ -1,0 +1,390 @@
+//! The `exp serve` job service: a std-only TCP server that executes
+//! [`RunSpec`] batches on a shared [`RunEngine`](crate::RunEngine) +
+//! [`ResultStore`](crate::ResultStore), and the matching clients.
+//!
+//! # Wire protocol
+//!
+//! Newline-delimited JSON (NDJSON) over a plain TCP stream; every line is
+//! one JSON object carrying `"schema_version"` (see
+//! [`codec::SCHEMA_VERSION`](crate::codec::SCHEMA_VERSION) — unknown
+//! majors are rejected, not misparsed). The client writes [`Request`]
+//! lines; the server answers each with a stream of [`Event`] lines.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"schema_version":"1.0","type":"submit","specs":[<spec>, ...]}
+//! {"schema_version":"1.0","type":"ping"}
+//! {"schema_version":"1.0","type":"shutdown"}
+//! ```
+//!
+//! Events answering a `submit`, in order: one `accepted`, then interleaved
+//! `run_started`/`run_progress` lines as workers pick specs up, then one
+//! `run_done` per submitted spec **in submission order** (each carrying
+//! the full result and its provenance), then one `batch_done`:
+//!
+//! ```text
+//! {"schema_version":"1.0","type":"accepted","runs":N,"unique":M}
+//! {"schema_version":"1.0","type":"run_started","key":K}
+//! {"schema_version":"1.0","type":"run_progress","key":K,"cycle":C,"instructions":I}
+//! {"schema_version":"1.0","type":"run_done","index":i,"key":K,"source":S,"wall_nanos":W,"result":{...}}
+//! {"schema_version":"1.0","type":"batch_done","runs":N}
+//! ```
+//!
+//! `ping` answers `pong`; `shutdown` answers `shutdown_ack` and stops the
+//! server once queued work drains. A malformed or incompatible request
+//! line answers `error` and closes the connection.
+//!
+//! # Execution semantics
+//!
+//! Specs are deduplicated by content key at every level: within a batch,
+//! against the server engine's memo table, against the persistent store,
+//! and — via the in-flight job table — against runs other connections are
+//! already executing (*coalescing*: the second submitter waits for the
+//! first execution instead of queueing a duplicate). The work queue is
+//! bounded; submitters block while it is full, which backpressures
+//! clients instead of growing memory. A client disconnect never cancels
+//! in-flight work: results still land in the memo and store, so the next
+//! submission of the same spec is a hit.
+
+pub mod client;
+pub mod server;
+
+pub use client::{BatchItem, Client, LocalClient, RemoteClient};
+pub use server::{ServeConfig, Server};
+
+use crate::codec::{
+    check_schema_version, result_from_json, result_to_json, spec_from_json, spec_to_json,
+    CodecError, SCHEMA_VERSION,
+};
+use crate::engine::{RunResult, RunSpec};
+use crate::json::Json;
+use std::fmt;
+
+/// How a `run_done` result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Simulated for this request.
+    Simulated,
+    /// Served from the engine memo or the persistent store.
+    Cached,
+    /// Coalesced onto an execution another request already started.
+    Coalesced,
+}
+
+impl Source {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Source::Simulated => "simulated",
+            Source::Cached => "cached",
+            Source::Coalesced => "coalesced",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn from_str(s: &str) -> Result<Self, CodecError> {
+        match s {
+            "simulated" => Ok(Source::Simulated),
+            "cached" => Ok(Source::Cached),
+            "coalesced" => Ok(Source::Coalesced),
+            other => Err(CodecError(format!("unknown source {other:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Source {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A client → server request line.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Execute a batch of specs and stream the results back.
+    Submit(Vec<RunSpec>),
+    /// Liveness check.
+    Ping,
+    /// Drain queued work, then stop the server.
+    Shutdown,
+}
+
+/// Encodes a request as one wire line (no trailing newline).
+pub fn request_to_json(r: &Request) -> Json {
+    let base = Json::obj().with("schema_version", Json::Str(SCHEMA_VERSION.into()));
+    match r {
+        Request::Submit(specs) => base
+            .with("type", Json::Str("submit".into()))
+            .with("specs", Json::Arr(specs.iter().map(spec_to_json).collect())),
+        Request::Ping => base.with("type", Json::Str("ping".into())),
+        Request::Shutdown => base.with("type", Json::Str("shutdown".into())),
+    }
+}
+
+/// Decodes a request line (gating on schema major).
+pub fn request_from_json(v: &Json) -> Result<Request, CodecError> {
+    check_schema_version(v)?;
+    let ty = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| CodecError("request missing \"type\"".into()))?;
+    match ty {
+        "submit" => {
+            let specs = v
+                .get("specs")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| CodecError("submit missing \"specs\" array".into()))?;
+            specs
+                .iter()
+                .map(spec_from_json)
+                .collect::<Result<Vec<_>, _>>()
+                .map(Request::Submit)
+        }
+        "ping" => Ok(Request::Ping),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(CodecError(format!("unknown request type {other:?}"))),
+    }
+}
+
+/// A server → client event line.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// The submit batch was parsed and queued.
+    Accepted {
+        /// Specs in the batch.
+        runs: usize,
+        /// Unique content keys among them.
+        unique: usize,
+    },
+    /// A worker started simulating the keyed run.
+    RunStarted {
+        /// The run's content key.
+        key: String,
+    },
+    /// Periodic progress of an in-flight simulation.
+    RunProgress {
+        /// The run's content key.
+        key: String,
+        /// Current device cycle.
+        cycle: u64,
+        /// Warp-instructions issued so far.
+        instructions: u64,
+    },
+    /// One submitted spec completed (events arrive in submission order).
+    RunDone {
+        /// Position of the spec in the submitted batch.
+        index: usize,
+        /// The run's content key.
+        key: String,
+        /// Where the result came from.
+        source: Source,
+        /// Wall-clock nanoseconds the simulation took (0 when cached).
+        wall_nanos: u64,
+        /// The full result.
+        result: RunResult,
+    },
+    /// Every spec of the batch has been answered.
+    BatchDone {
+        /// Specs in the batch.
+        runs: usize,
+    },
+    /// The request failed; the server closes the connection after this.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Answer to [`Request::Shutdown`].
+    ShutdownAck,
+}
+
+/// Encodes an event as one wire line (no trailing newline).
+pub fn event_to_json(e: &Event) -> Json {
+    let base = Json::obj().with("schema_version", Json::Str(SCHEMA_VERSION.into()));
+    match e {
+        Event::Accepted { runs, unique } => base
+            .with("type", Json::Str("accepted".into()))
+            .with("runs", Json::UInt(*runs as u64))
+            .with("unique", Json::UInt(*unique as u64)),
+        Event::RunStarted { key } => base
+            .with("type", Json::Str("run_started".into()))
+            .with("key", Json::Str(key.clone())),
+        Event::RunProgress {
+            key,
+            cycle,
+            instructions,
+        } => base
+            .with("type", Json::Str("run_progress".into()))
+            .with("key", Json::Str(key.clone()))
+            .with("cycle", Json::UInt(*cycle))
+            .with("instructions", Json::UInt(*instructions)),
+        Event::RunDone {
+            index,
+            key,
+            source,
+            wall_nanos,
+            result,
+        } => base
+            .with("type", Json::Str("run_done".into()))
+            .with("index", Json::UInt(*index as u64))
+            .with("key", Json::Str(key.clone()))
+            .with("source", Json::Str(source.as_str().into()))
+            .with("wall_nanos", Json::UInt(*wall_nanos))
+            .with("result", result_to_json(result)),
+        Event::BatchDone { runs } => base
+            .with("type", Json::Str("batch_done".into()))
+            .with("runs", Json::UInt(*runs as u64)),
+        Event::Error { message } => base
+            .with("type", Json::Str("error".into()))
+            .with("message", Json::Str(message.clone())),
+        Event::Pong => base.with("type", Json::Str("pong".into())),
+        Event::ShutdownAck => base.with("type", Json::Str("shutdown_ack".into())),
+    }
+}
+
+/// Decodes an event line (gating on schema major).
+pub fn event_from_json(v: &Json) -> Result<Event, CodecError> {
+    check_schema_version(v)?;
+    let ty = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| CodecError("event missing \"type\"".into()))?;
+    let need_u64 = |field: &str| {
+        v.get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| CodecError(format!("{ty} event missing \"{field}\"")))
+    };
+    let need_str = |field: &str| {
+        v.get(field)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| CodecError(format!("{ty} event missing \"{field}\"")))
+    };
+    match ty {
+        "accepted" => Ok(Event::Accepted {
+            runs: need_u64("runs")? as usize,
+            unique: need_u64("unique")? as usize,
+        }),
+        "run_started" => Ok(Event::RunStarted {
+            key: need_str("key")?,
+        }),
+        "run_progress" => Ok(Event::RunProgress {
+            key: need_str("key")?,
+            cycle: need_u64("cycle")?,
+            instructions: need_u64("instructions")?,
+        }),
+        "run_done" => Ok(Event::RunDone {
+            index: need_u64("index")? as usize,
+            key: need_str("key")?,
+            source: Source::from_str(&need_str("source")?)?,
+            wall_nanos: need_u64("wall_nanos")?,
+            result: result_from_json(
+                v.get("result")
+                    .ok_or_else(|| CodecError("run_done event missing \"result\"".into()))?,
+            )?,
+        }),
+        "batch_done" => Ok(Event::BatchDone {
+            runs: need_u64("runs")? as usize,
+        }),
+        "error" => Ok(Event::Error {
+            message: need_str("message")?,
+        }),
+        "pong" => Ok(Event::Pong),
+        "shutdown_ack" => Ok(Event::ShutdownAck),
+        other => Err(CodecError(format!("unknown event type {other:?}"))),
+    }
+}
+
+/// Why a service call failed.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer spoke an incompatible or malformed dialect.
+    Protocol(String),
+    /// The server reported a failure executing the batch.
+    Remote(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::Remote(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<CodecError> for ServiceError {
+    fn from(e: CodecError) -> Self {
+        ServiceError::Protocol(e.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Harness;
+    use tbs_core::{CtaPolicy, WarpPolicy};
+
+    fn spec() -> RunSpec {
+        RunSpec::single(
+            &Harness::quick(),
+            "vecadd",
+            WarpPolicy::Gto,
+            CtaPolicy::Baseline(None),
+        )
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for r in [Request::Submit(vec![spec(), spec()]), Request::Ping, Request::Shutdown] {
+            let line = request_to_json(&r).render();
+            let back = request_from_json(&Json::parse(&line).unwrap()).unwrap();
+            match (&r, &back) {
+                (Request::Submit(a), Request::Submit(b)) => assert_eq!(a, b),
+                (Request::Ping, Request::Ping) | (Request::Shutdown, Request::Shutdown) => {}
+                other => panic!("round trip changed variant: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let e = Event::RunProgress {
+            key: spec().key().as_str().to_string(),
+            cycle: 123,
+            instructions: 456,
+        };
+        let line = event_to_json(&e).render();
+        match event_from_json(&Json::parse(&line).unwrap()).unwrap() {
+            Event::RunProgress {
+                cycle,
+                instructions,
+                ..
+            } => {
+                assert_eq!(cycle, 123);
+                assert_eq!(instructions, 456);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn incompatible_versions_are_rejected() {
+        let line = r#"{"schema_version":"9.0","type":"ping"}"#;
+        let err = request_from_json(&Json::parse(line).unwrap()).unwrap_err();
+        assert!(err.0.contains("incompatible"), "got: {}", err.0);
+    }
+}

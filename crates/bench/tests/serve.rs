@@ -1,0 +1,198 @@
+//! End-to-end tests of `exp serve`'s job server and the client API:
+//! an in-process server on an ephemeral port, a `RemoteClient` submitting
+//! batches over real TCP, and equality against a purely local run.
+
+use gpgpu_bench::service::{Client, Event, LocalClient, RemoteClient, ServeConfig, Server, Source};
+use gpgpu_bench::{Harness, ResultStore, RunSpec};
+use gpgpu_testkit::TempDir;
+use std::sync::Arc;
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+fn spec(h: &Harness, name: &str, warp: WarpPolicy) -> RunSpec {
+    RunSpec::single(h, name, warp, CtaPolicy::Baseline(None))
+}
+
+/// A server on 127.0.0.1:<free port> running on a background thread.
+/// Returns the bound address and the thread handle (joined after a
+/// client-side `shutdown()`).
+fn start(cfg: ServeConfig) -> (String, std::thread::JoinHandle<()>) {
+    let server = Server::bind(cfg).expect("bind on an ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+#[test]
+fn ping_pong() {
+    let (addr, handle) = start(ServeConfig {
+        jobs: 1,
+        ..ServeConfig::default()
+    });
+    let client = RemoteClient::new(&addr);
+    client.ping().expect("pong");
+    client.shutdown().expect("shutdown ack");
+    handle.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn remote_batch_matches_local_run() {
+    let h = Harness::quick();
+    let specs = vec![
+        spec(&h, "vecadd", WarpPolicy::Gto),
+        spec(&h, "saxpy", WarpPolicy::Gto),
+        spec(&h, "vecadd", WarpPolicy::Lrr),
+        spec(&h, "vecadd", WarpPolicy::Gto), // duplicate of [0]
+    ];
+
+    // Reference: purely local execution through the same Client trait.
+    let mut local = LocalClient::new(2);
+    let expected = local.run_batch(&specs).expect("local batch");
+
+    let (addr, handle) = start(ServeConfig {
+        jobs: 2,
+        ..ServeConfig::default()
+    });
+    let mut remote = RemoteClient::new(&addr);
+
+    let mut events = Vec::new();
+    let items = remote
+        .run_batch_observed(&specs, &mut |e| events.push(e.clone()))
+        .expect("remote batch");
+
+    assert_eq!(items.len(), specs.len());
+    for (i, (item, want)) in items.iter().zip(&expected).enumerate() {
+        assert_eq!(item.key, want.key, "key order preserved at index {i}");
+        assert_eq!(
+            item.result.stats, want.result.stats,
+            "remote stats identical to local at index {i}"
+        );
+        assert_eq!(item.result.kernels, want.result.kernels);
+    }
+    // The duplicate spec shares its twin's key and stats.
+    assert_eq!(items[3].key, items[0].key);
+    assert_eq!(items[3].result.stats, items[0].result.stats);
+
+    // The event stream is well-formed: accepted first, one run_done per
+    // spec in submission order, batch_done last.
+    assert!(
+        matches!(events.first(), Some(Event::Accepted { runs: 4, unique: 3 })),
+        "first event announces the batch: {:?}",
+        events.first()
+    );
+    assert!(matches!(events.last(), Some(Event::BatchDone { runs: 4 })));
+    let done_indexes: Vec<usize> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::RunDone { index, .. } => Some(*index),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(done_indexes, vec![0, 1, 2, 3], "run_done in submission order");
+
+    client_shutdown(&addr);
+    handle.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn second_submission_is_served_from_memory() {
+    let h = Harness::quick();
+    let specs = vec![
+        spec(&h, "vecadd", WarpPolicy::Gto),
+        spec(&h, "saxpy", WarpPolicy::Gto),
+    ];
+
+    let (addr, handle) = start(ServeConfig {
+        jobs: 2,
+        ..ServeConfig::default()
+    });
+    let mut remote = RemoteClient::new(&addr);
+
+    let first = remote.run_batch(&specs).expect("first batch");
+    assert!(
+        first.iter().all(|i| i.source == Source::Simulated),
+        "cold server simulates everything: {:?}",
+        first.iter().map(|i| i.source).collect::<Vec<_>>()
+    );
+
+    let second = remote.run_batch(&specs).expect("second batch");
+    assert!(
+        second.iter().all(|i| i.source == Source::Cached),
+        "warm server simulates nothing: {:?}",
+        second.iter().map(|i| i.source).collect::<Vec<_>>()
+    );
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.result.stats, b.result.stats, "cached results identical");
+    }
+
+    client_shutdown(&addr);
+    handle.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn server_store_survives_restart() {
+    let dir = TempDir::new("serve-store");
+    let h = Harness::quick();
+    let specs = vec![spec(&h, "vecadd", WarpPolicy::Gto)];
+
+    // First server instance simulates and persists.
+    let store = Arc::new(ResultStore::open(dir.path()).expect("store opens"));
+    let (addr, handle) = start(ServeConfig {
+        jobs: 1,
+        store: Some(store),
+        ..ServeConfig::default()
+    });
+    let mut remote = RemoteClient::new(&addr);
+    let first = remote.run_batch(&specs).expect("first batch");
+    assert_eq!(first[0].source, Source::Simulated);
+    client_shutdown(&addr);
+    handle.join().expect("first server exits");
+
+    // A fresh server over the same store dir serves the run as a hit.
+    let store = Arc::new(ResultStore::open(dir.path()).expect("store reopens"));
+    let (addr, handle) = start(ServeConfig {
+        jobs: 1,
+        store: Some(store),
+        ..ServeConfig::default()
+    });
+    let mut remote = RemoteClient::new(&addr);
+    let second = remote.run_batch(&specs).expect("second batch");
+    assert_eq!(second[0].source, Source::Cached, "store hit after restart");
+    assert_eq!(second[0].result.stats, first[0].result.stats);
+    client_shutdown(&addr);
+    handle.join().expect("second server exits");
+}
+
+#[test]
+fn progress_events_stream_for_long_runs() {
+    let h = Harness::quick();
+    let specs = vec![spec(&h, "vecadd", WarpPolicy::Gto)];
+
+    let (addr, handle) = start(ServeConfig {
+        jobs: 1,
+        progress_every: 100, // tiny interval so even a Tiny run reports
+        ..ServeConfig::default()
+    });
+    let mut remote = RemoteClient::new(&addr);
+
+    let mut started = 0u32;
+    let mut progressed = 0u32;
+    remote
+        .run_batch_observed(&specs, &mut |e| match e {
+            Event::RunStarted { .. } => started += 1,
+            Event::RunProgress { cycle, .. } => {
+                assert!(*cycle > 0);
+                progressed += 1;
+            }
+            _ => {}
+        })
+        .expect("batch with progress");
+    assert_eq!(started, 1, "exactly one run_started");
+    assert!(progressed > 0, "at least one run_progress event streamed");
+
+    client_shutdown(&addr);
+    handle.join().expect("server thread exits cleanly");
+}
+
+fn client_shutdown(addr: &str) {
+    RemoteClient::new(addr).shutdown().expect("shutdown ack");
+}

@@ -1,0 +1,213 @@
+//! Integration tests of the persistent result store: round-trip fidelity,
+//! corruption eviction, engine wiring (warm batches simulate nothing),
+//! and concurrent writers sharing one store directory.
+
+use gpgpu_bench::store::content_address;
+use gpgpu_bench::{Harness, ResultStore, RunEngine, RunSpec};
+use gpgpu_testkit::TempDir;
+use std::path::PathBuf;
+use std::sync::Arc;
+use tbs_core::{CtaPolicy, WarpPolicy};
+
+fn quick() -> Harness {
+    Harness::quick()
+}
+
+fn spec(h: &Harness, name: &str) -> RunSpec {
+    RunSpec::single(h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None))
+}
+
+fn entry_file(store: &ResultStore, s: &RunSpec) -> PathBuf {
+    let addr = content_address(s.key().as_str());
+    store.root().join(&addr[..2]).join(format!("{addr}.json"))
+}
+
+#[test]
+fn store_round_trips_a_result() {
+    let dir = TempDir::new("store-roundtrip");
+    let store = ResultStore::open(dir.path()).expect("store opens");
+    let h = quick();
+    let s = spec(&h, "vecadd");
+
+    assert!(store.load(&s).is_none(), "fresh store misses");
+    let engine = RunEngine::new(1);
+    let result = engine.get(&s);
+    store.save(&s, &result, 12_345).expect("save succeeds");
+
+    let hit = store.load(&s).expect("saved entry loads");
+    assert_eq!(hit.wall_nanos, 12_345);
+    assert_eq!(hit.result.stats, result.stats, "stats survive the disk round trip");
+    assert_eq!(hit.result.kernels, result.kernels);
+    assert_eq!(hit.result.lcs_limits, result.lcs_limits);
+    assert!(hit.result.telemetry.is_none(), "telemetry is never rebuilt");
+
+    let stats = store.stats();
+    assert_eq!(stats.stored, 1);
+    assert_eq!(stats.hits, 1);
+    assert_eq!(stats.saved_nanos, 12_345);
+}
+
+#[test]
+fn corrupt_entries_are_evicted_and_resimulated() {
+    let dir = TempDir::new("store-corrupt");
+    let store = ResultStore::open(dir.path()).expect("store opens");
+    let h = quick();
+    let s = spec(&h, "vecadd");
+    let engine = RunEngine::new(1);
+    let result = engine.get(&s);
+    store.save(&s, &result, 1).expect("save succeeds");
+
+    // Truncate the entry mid-document.
+    let path = entry_file(&store, &s);
+    let text = std::fs::read_to_string(&path).expect("entry exists");
+    std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+    assert!(store.load(&s).is_none(), "corrupt entry is a miss");
+    assert_eq!(store.stats().evicted_corrupt, 1);
+    assert!(!path.exists(), "the bad file no longer occupies the address");
+    assert!(
+        path.with_extension("json.corrupt").exists(),
+        "evidence is quarantined, not destroyed"
+    );
+
+    // The address is clear again: a save and a load work normally.
+    store.save(&s, &result, 2).expect("re-save succeeds");
+    assert!(store.load(&s).is_some(), "address serves hits again");
+}
+
+#[test]
+fn incompatible_schema_majors_are_left_in_place() {
+    let dir = TempDir::new("store-major");
+    let store = ResultStore::open(dir.path()).expect("store opens");
+    let h = quick();
+    let s = spec(&h, "vecadd");
+
+    let path = entry_file(&store, &s);
+    std::fs::create_dir_all(path.parent().unwrap()).expect("shard dir");
+    std::fs::write(&path, "{\"schema_version\":\"99.0\",\"key\":\"x\"}\n").expect("write");
+
+    assert!(store.load(&s).is_none(), "foreign major is a miss");
+    let stats = store.stats();
+    assert_eq!(stats.incompatible, 1);
+    assert_eq!(stats.evicted_corrupt, 0);
+    assert!(path.exists(), "the foreign entry is not touched");
+}
+
+#[test]
+fn warm_engine_batch_simulates_nothing() {
+    let dir = TempDir::new("store-warm");
+    let h = quick();
+    let specs = vec![
+        spec(&h, "vecadd"),
+        spec(&h, "saxpy"),
+        spec(&h, "vecadd"), // duplicate: dedups in-batch
+    ];
+
+    // Cold process: everything simulates, results land in the store.
+    let cold_stats = {
+        let store = Arc::new(ResultStore::open(dir.path()).expect("store opens"));
+        let mut engine = RunEngine::new(2);
+        engine.attach_store(Arc::clone(&store));
+        engine.execute_batch(&specs);
+        assert_eq!(engine.runs_executed(), 2);
+        assert_eq!(engine.runs_from_store(), 0);
+        assert_eq!(store.stats().stored, 2);
+        (engine.get(&specs[0]).stats.clone(), engine.get(&specs[1]).stats.clone())
+    };
+
+    // Warm "process" (fresh engine, same store): zero simulations.
+    let store = Arc::new(ResultStore::open(dir.path()).expect("store reopens"));
+    let mut engine = RunEngine::new(2);
+    engine.attach_store(Arc::clone(&store));
+    engine.execute_batch(&specs);
+    assert_eq!(engine.runs_executed(), 0, "warm batch simulates nothing");
+    assert_eq!(engine.runs_from_store(), 2);
+    assert_eq!(engine.summary().requested(), 3);
+    assert_eq!(engine.get(&specs[0]).stats, cold_stats.0, "identical stats");
+    assert_eq!(engine.get(&specs[1]).stats, cold_stats.1);
+}
+
+#[test]
+fn concurrent_writers_share_one_store() {
+    let dir = TempDir::new("store-concurrent");
+    let h = quick();
+    let specs: Vec<RunSpec> = ["vecadd", "saxpy"]
+        .iter()
+        .map(|n| spec(&h, n))
+        .collect();
+
+    // Two engines (as if two processes) race the same batch into one
+    // store directory. Atomic write-then-rename means both install
+    // identical content; nothing errors, nothing corrupts.
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let specs = &specs;
+            let root = dir.path();
+            scope.spawn(move || {
+                let store = Arc::new(ResultStore::open(root).expect("store opens"));
+                let mut engine = RunEngine::new(2);
+                engine.attach_store(store);
+                engine.execute_batch(specs);
+            });
+        }
+    });
+
+    // Every entry on disk is readable and no temp litter is left.
+    let store = ResultStore::open(dir.path()).expect("store reopens");
+    for s in &specs {
+        assert!(store.load(s).is_some(), "entry for {:?} readable", s.key());
+    }
+    let mut files = Vec::new();
+    let mut dirs = vec![dir.path().to_path_buf()];
+    while let Some(d) = dirs.pop() {
+        for entry in std::fs::read_dir(&d).expect("readable dir") {
+            let p = entry.expect("entry").path();
+            if p.is_dir() {
+                dirs.push(p);
+            } else {
+                files.push(p);
+            }
+        }
+    }
+    assert!(
+        files.iter().all(|p| p.extension().is_some_and(|e| e == "json")),
+        "no temp or corrupt litter: {files:?}"
+    );
+    assert_eq!(files.len(), 2, "one entry per unique spec");
+}
+
+#[test]
+fn telemetry_specs_bypass_store_loads_but_persist_pointer_files() {
+    let dir = TempDir::new("store-telemetry");
+    let store = Arc::new(ResultStore::open(dir.path()).expect("store opens"));
+    let h = quick();
+    let plain = spec(&h, "vecadd");
+    let traced = plain.clone().with_telemetry(gpgpu_sim::TelemetryConfig::new(500));
+
+    let mut engine = RunEngine::new(1);
+    engine.attach_store(Arc::clone(&store));
+    engine.execute_batch(std::slice::from_ref(&traced));
+    assert_eq!(engine.runs_executed(), 1);
+
+    // The traced run persisted its result plus sibling telemetry files.
+    let addr = content_address(plain.key().as_str());
+    let shard = dir.path().join(&addr[..2]);
+    assert!(shard.join(format!("{addr}.json")).exists());
+    assert!(shard.join(format!("{addr}.events.jsonl")).exists());
+    assert!(shard.join(format!("{addr}.intervals.csv")).exists());
+
+    // A fresh engine requesting telemetry must re-simulate (stored
+    // entries cannot rebuild telemetry) …
+    let mut engine2 = RunEngine::new(1);
+    engine2.attach_store(Arc::clone(&store));
+    let r = engine2.get(&traced);
+    assert!(r.telemetry.is_some(), "telemetry request is honored");
+    assert_eq!(engine2.runs_executed(), 1);
+    // … while the plain twin is a pure store hit.
+    let mut engine3 = RunEngine::new(1);
+    engine3.attach_store(store);
+    let r = engine3.get(&plain);
+    assert!(r.telemetry.is_none());
+    assert_eq!(engine3.runs_executed(), 0);
+    assert_eq!(engine3.runs_from_store(), 1);
+}

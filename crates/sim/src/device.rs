@@ -48,6 +48,40 @@ pub fn sim_threads_default() -> usize {
     SIM_THREADS_DEFAULT.load(Ordering::Relaxed)
 }
 
+/// Observer invoked periodically from the main loop with
+/// `(current_cycle, instructions_issued_so_far)`. Purely observational:
+/// simulation outputs are byte-identical with or without a hook attached.
+pub type ProgressCallback = Arc<dyn Fn(u64, u64) + Send + Sync>;
+
+thread_local! {
+    /// Per-thread progress hook read by [`GpuDevice::new`]. Thread-local
+    /// (rather than a constructor parameter) because devices are built
+    /// deep inside workload runners; a driver sets the hook on its worker
+    /// thread around the run and clears it afterwards.
+    static THREAD_PROGRESS: std::cell::RefCell<Option<(u64, ProgressCallback)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Arms a progress hook for devices subsequently built on *this thread*:
+/// every `every` cycles (clamped to at least 1) the callback receives the
+/// current cycle and cumulative issued-instruction count. Cleared with
+/// [`clear_thread_progress`]; already-built devices are unaffected.
+pub fn set_thread_progress(every: u64, cb: ProgressCallback) {
+    THREAD_PROGRESS.with(|p| *p.borrow_mut() = Some((every.max(1), cb)));
+}
+
+/// Disarms the hook set by [`set_thread_progress`] on this thread.
+pub fn clear_thread_progress() {
+    THREAD_PROGRESS.with(|p| *p.borrow_mut() = None);
+}
+
+/// Periodic progress observer attached to a device at construction.
+struct ProgressMeter {
+    every: u64,
+    next: Cycle,
+    cb: ProgressCallback,
+}
+
 /// Why a run failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
@@ -144,6 +178,9 @@ pub struct GpuDevice {
     /// Attached telemetry; `None` (the default) keeps every hook a single
     /// branch on the fast path.
     telemetry: Option<Telemetry>,
+    /// Periodic progress observer (see [`set_thread_progress`]); `None`
+    /// keeps the main loop's cost to one branch.
+    progress: Option<ProgressMeter>,
 }
 
 impl fmt::Debug for GpuDevice {
@@ -190,6 +227,13 @@ impl GpuDevice {
             fast_forward: FAST_FORWARD_DEFAULT.load(Ordering::Relaxed),
             sim_threads: SIM_THREADS_DEFAULT.load(Ordering::Relaxed),
             telemetry: None,
+            progress: THREAD_PROGRESS.with(|p| {
+                p.borrow().as_ref().map(|(every, cb)| ProgressMeter {
+                    every: *every,
+                    next: *every,
+                    cb: Arc::clone(cb),
+                })
+            }),
             cfg,
         }
     }
@@ -715,6 +759,14 @@ impl GpuDevice {
                 return Err(SimError::Deadlock { at: self.now });
             } else if self.fast_forward {
                 self.fast_forward_idle(cores, limit);
+            }
+            // Observation only: a fast-forward jump past several periods
+            // fires once here rather than once per period.
+            if let Some(p) = self.progress.as_mut() {
+                if self.now >= p.next {
+                    (p.cb)(self.now, self.last_issued_total);
+                    p.next = self.now.saturating_add(p.every);
+                }
             }
         }
         Ok(())

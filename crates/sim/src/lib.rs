@@ -44,7 +44,8 @@ pub mod telemetry;
 pub use config::GpuConfig;
 pub use core_model::{Core, CoreCtaCompletion, CoreStats};
 pub use device::{
-    set_fast_forward_default, set_sim_threads_default, sim_threads_default, GpuDevice, SimError,
+    clear_thread_progress, set_fast_forward_default, set_sim_threads_default, set_thread_progress,
+    sim_threads_default, ProgressCallback, GpuDevice, SimError,
 };
 pub use invariants::{assert_conservation, conservation_violations};
 pub use memory::{GlobalMem, SharedMem};

@@ -175,6 +175,47 @@ impl Gen {
     }
 }
 
+/// A unique, self-cleaning scratch directory for filesystem fixtures
+/// (result stores, trace outputs, server state).
+///
+/// The directory is created immediately under the system temp dir, named
+/// by tag, process id, and a process-wide counter — so parallel tests in
+/// one binary and concurrent test binaries never collide — and removed
+/// (best-effort) on drop.
+#[derive(Debug)]
+pub struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    /// Creates `<tmp>/<tag>-<pid>-<n>/`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn new(tag: &str) -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "{tag}-{}-{n}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("scratch dir creatable");
+        TempDir(dir)
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

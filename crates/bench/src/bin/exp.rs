@@ -21,8 +21,8 @@
 //! failure, 2 usage error.
 
 use gpgpu_bench::cli::{
-    Cli, Command, CommonArgs, FuzzArgs, Parsed, PerfArgs, RunArgs, ServeArgs, SubmitArgs,
-    TraceArgs, EXIT_RUNTIME, EXIT_USAGE,
+    Cli, Command, CommonArgs, FuzzArgs, Parsed, PerfArgs, ReportArgs, RunArgs, ServeArgs,
+    SubmitArgs, TraceArgs, EXIT_RUNTIME, EXIT_USAGE,
 };
 use gpgpu_bench::experiments::{all_ids, collect_experiment, plan_experiment, trace_points};
 use gpgpu_bench::service::{Client, Event, RemoteClient, ServeConfig, Server, Source};
@@ -83,7 +83,49 @@ fn main() -> ExitCode {
         Command::Fuzz(args) => run_fuzz(&h, &args),
         Command::Serve(args) => run_serve(&h, args, store),
         Command::Submit(args) => run_submit(&h, &cli.common, args),
+        Command::Report(args) => run_report(&cli.common, &args),
     }
+}
+
+/// The `report` path: build cycle-accounting rows from the chosen source
+/// (the CLI guarantees exactly one of `--store` / `--trace-dir`), render
+/// text or JSON, and fail when any row breaks the conservation identity.
+fn run_report(common: &CommonArgs, args: &ReportArgs) -> ExitCode {
+    use gpgpu_bench::report;
+    let rows = match &args.trace_dir {
+        Some(dir) => report::rows_from_traces(dir),
+        None => {
+            let dir = common.store_dir.as_ref().expect("cli validated one source");
+            let mut skipped = Vec::new();
+            let rows = report::rows_from_store(dir, &mut skipped);
+            for note in &skipped {
+                eprintln!("warning: skipped store entry: {note}");
+            }
+            rows
+        }
+    };
+    let rows = match rows {
+        Ok(rows) if rows.is_empty() => {
+            eprintln!("error: the source holds nothing to report on");
+            return ExitCode::from(EXIT_RUNTIME);
+        }
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_RUNTIME);
+        }
+    };
+    let report = report::Report::from_rows(rows);
+    if common.json {
+        println!("{}", report.render_json().render());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if !report.identity_ok() {
+        eprintln!("error: stall-accounting conservation identity violated (see rows above)");
+        return ExitCode::from(EXIT_RUNTIME);
+    }
+    ExitCode::SUCCESS
 }
 
 /// Opens `--store` (when given), failing fast on an unusable directory.
@@ -254,6 +296,7 @@ fn run_serve(h: &Harness, args: ServeArgs, store: Option<Arc<ResultStore>>) -> E
         queue_cap: args.queue_cap,
         progress_every: args.progress_every,
         store,
+        stats_log_every: args.stats_log_every,
     };
     let server = match Server::bind(cfg) {
         Ok(s) => s,
@@ -438,6 +481,45 @@ fn run_perf(h: &Harness, args: &PerfArgs, json: bool, sim_threads: usize) -> Exi
             ));
         }
         payload.push_str("]}");
+    }
+    // Aggregate cycle accounting over the batch's unique runs, keyed by
+    // the scale tier this invocation benchmarked. Observation-only data;
+    // the gate keeps scanning for "cycles_per_second" untouched above.
+    {
+        let mut bd = gpgpu_sim::StallBreakdown::default();
+        let mut seen = std::collections::HashSet::new();
+        for spec in &specs {
+            if seen.insert(spec.key().as_str().to_string()) {
+                let b = engine.get(spec).stats.stall_breakdown();
+                bd.core_cycles += b.core_cycles;
+                bd.issued_slots += b.issued_slots;
+                bd.idle_slots += b.idle_slots;
+                bd.stalled_slots += b.stalled_slots;
+                bd.no_resident += b.no_resident;
+                bd.scoreboard += b.scoreboard;
+                bd.mem_pending += b.mem_pending;
+                bd.exec_busy += b.exec_busy;
+                bd.barrier += b.barrier;
+                bd.ff_idle += b.ff_idle;
+                bd.cta_resident_cycles += b.cta_resident_cycles;
+                bd.warp_resident_cycles += b.warp_resident_cycles;
+            }
+        }
+        payload.pop(); // trailing '}'
+        payload.push_str(&format!(
+            ",\"stall_breakdown\":{{\"scale\":\"{}\",\"core_cycles\":{},\"issued_slots\":{}",
+            gpgpu_bench::codec::scale_to_str(h.scale),
+            bd.core_cycles,
+            bd.issued_slots
+        ));
+        for (name, count) in bd.categories() {
+            payload.push_str(&format!(",\"{name}\":{count}"));
+        }
+        payload.push_str(&format!(
+            ",\"avg_resident_ctas\":{:.4},\"avg_resident_warps\":{:.4}}}}}",
+            bd.avg_resident_ctas(),
+            bd.avg_resident_warps()
+        ));
     }
     if let Err(e) = std::fs::write(&args.bench_out, format!("{payload}\n")) {
         eprintln!("cannot write {}: {e}", args.bench_out.display());

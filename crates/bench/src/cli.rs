@@ -138,6 +138,9 @@ pub struct ServeArgs {
     /// Cycles between streamed `run_progress` events
     /// (`--progress-every`; 0 disables).
     pub progress_every: u64,
+    /// Seconds between periodic `[serve: stats ...]` log lines
+    /// (`--stats-log-every`; 0 disables).
+    pub stats_log_every: u64,
 }
 
 impl Default for ServeArgs {
@@ -146,8 +149,17 @@ impl Default for ServeArgs {
             addr: "127.0.0.1:7878".into(),
             queue_cap: 1024,
             progress_every: 1_000_000,
+            stats_log_every: 60,
         }
     }
+}
+
+/// Arguments of the `report` subcommand.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReportArgs {
+    /// Trace directory to aggregate (`--trace-dir`); the alternative
+    /// source is the common `--store`.
+    pub trace_dir: Option<PathBuf>,
 }
 
 /// Arguments of the `submit` subcommand.
@@ -190,6 +202,8 @@ pub enum Command {
     Serve(ServeArgs),
     /// Submit experiments to a job server.
     Submit(SubmitArgs),
+    /// Cycle-accounting report over a store or trace directory.
+    Report(ReportArgs),
 }
 
 /// A fully parsed command line.
@@ -222,6 +236,8 @@ commands (default: run)
   fuzz              deterministic simulation fuzzer
   serve             long-running job server (NDJSON over TCP)
   submit            run experiments against an `exp serve` server
+  report            cycle-accounting report (stall attribution, occupancy)
+                    over a result store or trace directory
   exp <command> --help shows the command's own options
 
 common options
@@ -317,8 +333,28 @@ a client sends shutdown (exp submit --shutdown).
                      is full (default 1024)
   --progress-every N cycles between streamed run_progress events
                      (default 1000000; 0 disables)
+  --stats-log-every N seconds between periodic [serve: stats ...] log
+                     lines (default 60; 0 disables); the same snapshot
+                     is served on demand by the `stats` wire request
 
 Common options (exp --help) apply; --store gives the server persistence.";
+
+const REPORT_HELP: &str = "\
+usage: exp report (--store PATH | --trace-dir PATH) [--json]
+
+cycle-accounting report: where every scheduler slot of every run went
+(the stall taxonomy NoResidentWarp / ScoreboardDep / MemPending /
+ExecUnitBusy / BarrierWait / FastForwardedIdle), average resident
+CTAs/warps per core, and cross-policy comparisons against the baseline
+CTA policy of each run group. Re-checks the conservation identity
+(sum of stall counters == idle+stalled slots) on every row.
+
+  --store PATH      report over every entry of a result store
+  --trace-dir PATH  report over every *.intervals.csv in a trace
+                    directory (e.g. from exp --trace-dir)
+  --json            print the report as one JSON document instead of text
+
+Exactly one source is required. Common options (exp --help) apply.";
 
 const SUBMIT_HELP: &str = "\
 usage: exp submit [options] (--all | e1 e2 ... e10) [--shutdown]
@@ -346,11 +382,12 @@ fn help_for(cmd: Option<&str>) -> &'static str {
         Some("fuzz") => FUZZ_HELP,
         Some("serve") => SERVE_HELP,
         Some("submit") => SUBMIT_HELP,
+        Some("report") => REPORT_HELP,
         _ => GENERAL_HELP,
     }
 }
 
-const SUBCOMMANDS: [&str; 6] = ["run", "trace", "perf", "fuzz", "serve", "submit"];
+const SUBCOMMANDS: [&str; 7] = ["run", "trace", "perf", "fuzz", "serve", "submit", "report"];
 
 /// Parses the `--seeds A..B` window syntax.
 fn parse_seed_range(s: &str) -> Option<(u64, u64)> {
@@ -474,6 +511,12 @@ impl Cli {
                         .and_then(|v| v.parse::<u64>().ok())
                         .ok_or("--progress-every needs a cycle count (0 disables)")?;
                 }
+                "--stats-log-every" => {
+                    serve.stats_log_every = it
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or("--stats-log-every needs a second count (0 disables)")?;
+                }
                 "--shutdown" => shutdown = true,
                 "--list" => {
                     let mut out = String::new();
@@ -505,6 +548,7 @@ impl Cli {
                         "fuzz" => "fuzz",
                         "serve" => "serve",
                         "submit" => "submit",
+                        "report" => "report",
                         _ => unreachable!(),
                     });
                 }
@@ -554,6 +598,14 @@ impl Cli {
                     args.addr = a;
                 }
                 Command::Submit(args)
+            }
+            "report" => {
+                if common.store_dir.is_some() == trace_dir.is_some() {
+                    return Err(
+                        "report needs exactly one source: --store PATH or --trace-dir PATH".into(),
+                    );
+                }
+                Command::Report(ReportArgs { trace_dir })
             }
             _ => {
                 if ids.is_empty() && !all {
@@ -628,6 +680,26 @@ mod tests {
         assert!(parse(&[]).is_err());
         assert!(parse(&["submit"]).is_err());
         assert!(parse(&["perf", "--sweep-only", "--baseline", "x.json"]).is_err());
+    }
+
+    #[test]
+    fn report_needs_exactly_one_source() {
+        assert!(parse(&["report"]).is_err());
+        assert!(parse(&["report", "--store", "a", "--trace-dir", "b"]).is_err());
+        match cli(&["report", "--store", "cache", "--json"]).command {
+            Command::Report(r) => assert_eq!(r.trace_dir, None),
+            other => panic!("expected report, got {other:?}"),
+        }
+        match cli(&["--trace-dir", "traces", "report"]).command {
+            Command::Report(r) => {
+                assert_eq!(r.trace_dir.as_deref(), Some(std::path::Path::new("traces")));
+            }
+            other => panic!("expected report, got {other:?}"),
+        }
+        match parse(&["report", "--help"]).expect("parses") {
+            Parsed::Exit(text) => assert!(text.contains("--trace-dir")),
+            other => panic!("expected help, got {other:?}"),
+        }
     }
 
     #[test]

@@ -30,7 +30,11 @@ use tbs_core::{CtaPolicy, WarpPolicy};
 /// theirs (minor bumps only ever *add* fields) and refuse the rest. Bump
 /// the major when a field changes meaning or disappears; bump the minor
 /// when adding fields old readers can ignore.
-pub const SCHEMA_VERSION: &str = "1.0";
+///
+/// History: 1.1 added the per-core stall taxonomy and occupancy-integral
+/// counters (decoded as 0 when absent, so 1.0 store entries stay
+/// readable).
+pub const SCHEMA_VERSION: &str = "1.1";
 
 /// The major component of [`SCHEMA_VERSION`] (what compatibility is
 /// judged on).
@@ -160,6 +164,19 @@ fn get_u64(obj: &Json, key: &str) -> Result<u64, CodecError> {
     obj.get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| err(format!("missing or non-integer field {key:?}")))
+}
+
+/// Like [`get_u64`] but treats an *absent* key as 0 while still
+/// rejecting a present-but-mistyped value. Used for counters added in
+/// schema minor bumps so documents written by older same-major writers
+/// keep decoding.
+fn get_u64_or_zero(obj: &Json, key: &str) -> Result<u64, CodecError> {
+    match obj.get(key) {
+        None => Ok(0),
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| err(format!("non-integer field {key:?}"))),
+    }
 }
 
 fn get_u32(obj: &Json, key: &str) -> Result<u32, CodecError> {
@@ -514,6 +531,15 @@ fn core_stats_to_json(c: &gpgpu_sim::CoreStats) -> Json {
         .with("gmem_transactions", Json::UInt(c.gmem_transactions))
         .with("shared_replays", Json::UInt(c.shared_replays))
         .with("ctas_completed", Json::UInt(c.ctas_completed))
+        .with("core_cycles", Json::UInt(c.core_cycles))
+        .with("stall_no_resident", Json::UInt(c.stall_no_resident))
+        .with("stall_scoreboard", Json::UInt(c.stall_scoreboard))
+        .with("stall_mem_pending", Json::UInt(c.stall_mem_pending))
+        .with("stall_exec_busy", Json::UInt(c.stall_exec_busy))
+        .with("stall_barrier", Json::UInt(c.stall_barrier))
+        .with("stall_ff_idle", Json::UInt(c.stall_ff_idle))
+        .with("cta_resident_cycles", Json::UInt(c.cta_resident_cycles))
+        .with("warp_resident_cycles", Json::UInt(c.warp_resident_cycles))
 }
 
 fn core_stats_from_json(v: &Json) -> Result<gpgpu_sim::CoreStats, CodecError> {
@@ -525,6 +551,16 @@ fn core_stats_from_json(v: &Json) -> Result<gpgpu_sim::CoreStats, CodecError> {
         gmem_transactions: get_u64(v, "gmem_transactions")?,
         shared_replays: get_u64(v, "shared_replays")?,
         ctas_completed: get_u64(v, "ctas_completed")?,
+        // Schema 1.1 additions: absent in 1.0 documents, decoded as 0.
+        core_cycles: get_u64_or_zero(v, "core_cycles")?,
+        stall_no_resident: get_u64_or_zero(v, "stall_no_resident")?,
+        stall_scoreboard: get_u64_or_zero(v, "stall_scoreboard")?,
+        stall_mem_pending: get_u64_or_zero(v, "stall_mem_pending")?,
+        stall_exec_busy: get_u64_or_zero(v, "stall_exec_busy")?,
+        stall_barrier: get_u64_or_zero(v, "stall_barrier")?,
+        stall_ff_idle: get_u64_or_zero(v, "stall_ff_idle")?,
+        cta_resident_cycles: get_u64_or_zero(v, "cta_resident_cycles")?,
+        warp_resident_cycles: get_u64_or_zero(v, "warp_resident_cycles")?,
     })
 }
 
@@ -667,6 +703,45 @@ mod tests {
         gpu.fabric.dram.t_cas = 55;
         let back = gpu_from_json(&Json::parse(&gpu_to_json(&gpu).render()).unwrap()).unwrap();
         assert_eq!(back, gpu);
+    }
+
+    #[test]
+    fn pre_1_1_core_stats_decode_with_zeroed_taxonomy() {
+        // A core-stats object written by a 1.0 writer has only the seven
+        // original counters; the stall taxonomy and occupancy integrals
+        // must decode as 0 rather than refusing the document.
+        let old = Json::parse(
+            r#"{"issued":42,"idle_slots":7,"stalled_slots":3,"issued_slots":42,
+                "gmem_transactions":5,"shared_replays":1,"ctas_completed":2}"#,
+        )
+        .unwrap();
+        let c = core_stats_from_json(&old).expect("1.0 document stays readable");
+        assert_eq!(c.issued, 42);
+        assert_eq!(c.core_cycles, 0);
+        assert_eq!(c.stall_scoreboard, 0);
+        assert_eq!(c.warp_resident_cycles, 0);
+        // A present-but-mistyped new field is still an error.
+        let bad = Json::parse(
+            r#"{"issued":1,"idle_slots":0,"stalled_slots":0,"issued_slots":1,
+                "gmem_transactions":0,"shared_replays":0,"ctas_completed":0,
+                "core_cycles":"ten"}"#,
+        )
+        .unwrap();
+        assert!(core_stats_from_json(&bad).is_err());
+        // And the full set round-trips exactly.
+        let mut full = gpgpu_sim::CoreStats::default();
+        full.issued = 9;
+        full.issued_slots = 9;
+        full.core_cycles = 1000;
+        full.stall_mem_pending = 400;
+        full.stall_ff_idle = 591;
+        full.cta_resident_cycles = 3000;
+        full.warp_resident_cycles = 12_000;
+        let back = core_stats_from_json(
+            &Json::parse(&core_stats_to_json(&full).render()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, full);
     }
 
     #[test]

@@ -19,12 +19,14 @@ pub mod codec;
 pub mod engine;
 pub mod experiments;
 pub mod json;
+pub mod report;
 pub mod service;
 pub mod simcheck;
 pub mod store;
 pub mod table;
 
 pub use engine::{EngineSummary, RunEngine, RunKey, RunKind, RunProfile, RunResult, RunSpec};
+pub use service::ServerStats;
 pub use store::ResultStore;
 pub use table::Table;
 

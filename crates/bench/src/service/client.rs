@@ -6,7 +6,7 @@
 //! back as results in submission order, so callers (e.g. `exp submit`)
 //! can seed a local engine and collect tables identically to a local run.
 
-use super::{event_from_json, request_to_json, Event, Request, ServiceError, Source};
+use super::{event_from_json, request_to_json, Event, Request, ServerStats, ServiceError, Source};
 use crate::engine::{RunEngine, RunResult, RunSpec};
 use crate::json::Json;
 use std::io::{BufRead, BufReader, Write};
@@ -148,6 +148,17 @@ impl RemoteClient {
             Event::Pong => Ok(()),
             other => Err(ServiceError::Protocol(format!(
                 "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches a [`ServerStats`] metrics snapshot.
+    pub fn stats(&self) -> Result<ServerStats, ServiceError> {
+        let mut conn = self.call(&Request::Stats)?;
+        match conn.next_event()? {
+            Event::Stats(s) => Ok(s),
+            other => Err(ServiceError::Protocol(format!(
+                "expected stats, got {other:?}"
             ))),
         }
     }

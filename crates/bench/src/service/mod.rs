@@ -13,9 +13,10 @@
 //! Requests:
 //!
 //! ```text
-//! {"schema_version":"1.0","type":"submit","specs":[<spec>, ...]}
-//! {"schema_version":"1.0","type":"ping"}
-//! {"schema_version":"1.0","type":"shutdown"}
+//! {"schema_version":"1.1","type":"submit","specs":[<spec>, ...]}
+//! {"schema_version":"1.1","type":"ping"}
+//! {"schema_version":"1.1","type":"stats"}
+//! {"schema_version":"1.1","type":"shutdown"}
 //! ```
 //!
 //! Events answering a `submit`, in order: one `accepted`, then interleaved
@@ -24,16 +25,19 @@
 //! the full result and its provenance), then one `batch_done`:
 //!
 //! ```text
-//! {"schema_version":"1.0","type":"accepted","runs":N,"unique":M}
-//! {"schema_version":"1.0","type":"run_started","key":K}
-//! {"schema_version":"1.0","type":"run_progress","key":K,"cycle":C,"instructions":I}
-//! {"schema_version":"1.0","type":"run_done","index":i,"key":K,"source":S,"wall_nanos":W,"result":{...}}
-//! {"schema_version":"1.0","type":"batch_done","runs":N}
+//! {"schema_version":"1.1","type":"accepted","runs":N,"unique":M}
+//! {"schema_version":"1.1","type":"run_started","key":K}
+//! {"schema_version":"1.1","type":"run_progress","key":K,"cycle":C,"instructions":I}
+//! {"schema_version":"1.1","type":"run_done","index":i,"key":K,"source":S,"wall_nanos":W,"result":{...}}
+//! {"schema_version":"1.1","type":"batch_done","runs":N}
 //! ```
 //!
-//! `ping` answers `pong`; `shutdown` answers `shutdown_ack` and stops the
-//! server once queued work drains. A malformed or incompatible request
-//! line answers `error` and closes the connection.
+//! `ping` answers `pong`; `stats` answers one `stats` event — a
+//! [`ServerStats`] snapshot of queue depth, in-flight jobs, busy
+//! workers, completion counters, and job wall-time percentiles;
+//! `shutdown` answers `shutdown_ack` and stops the server once queued
+//! work drains. A malformed or incompatible request line answers `error`
+//! and closes the connection.
 //!
 //! # Execution semantics
 //!
@@ -99,6 +103,68 @@ impl fmt::Display for Source {
     }
 }
 
+/// A point-in-time server metrics snapshot (answer to
+/// [`Request::Stats`], and the payload of the server's periodic
+/// structured log line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Specs queued but not yet picked up by a worker.
+    pub queue_depth: u64,
+    /// Jobs a worker is executing right now.
+    pub in_flight: u64,
+    /// Workers currently executing a job.
+    pub workers_busy: u64,
+    /// Total worker threads.
+    pub workers: u64,
+    /// Jobs workers have finished (success or failure) since startup.
+    pub jobs_done: u64,
+    /// Specs the engine actually simulated.
+    pub runs_executed: u64,
+    /// Requests answered from the engine memo table.
+    pub runs_deduped: u64,
+    /// Requests answered from the persistent store.
+    pub store_hits: u64,
+    /// Median simulated-job wall time in nanoseconds (0 until a job ran).
+    pub p50_wall_nanos: u64,
+    /// 99th-percentile simulated-job wall time in nanoseconds.
+    pub p99_wall_nanos: u64,
+}
+
+impl ServerStats {
+    /// Fraction of answered requests that never hit the simulator
+    /// (memo + store hits over all requests answered so far).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.runs_deduped + self.store_hits;
+        let total = hits + self.runs_executed;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// The periodic log-line rendering (also what `exp serve` prints).
+    /// Deliberately shaped unlike the batch summary lines so log greps
+    /// for either never collide.
+    pub fn log_line(&self) -> String {
+        format!(
+            "[serve: stats queue_depth={} in_flight={} workers_busy={}/{} jobs_done={} \
+             executed={} deduped={} store_hits={} hit_rate={:.2} p50_ms={:.2} p99_ms={:.2}]",
+            self.queue_depth,
+            self.in_flight,
+            self.workers_busy,
+            self.workers,
+            self.jobs_done,
+            self.runs_executed,
+            self.runs_deduped,
+            self.store_hits,
+            self.hit_rate(),
+            self.p50_wall_nanos as f64 / 1e6,
+            self.p99_wall_nanos as f64 / 1e6,
+        )
+    }
+}
+
 /// A client → server request line.
 #[derive(Debug, Clone)]
 pub enum Request {
@@ -106,6 +172,8 @@ pub enum Request {
     Submit(Vec<RunSpec>),
     /// Liveness check.
     Ping,
+    /// Ask for a [`ServerStats`] snapshot.
+    Stats,
     /// Drain queued work, then stop the server.
     Shutdown,
 }
@@ -118,6 +186,7 @@ pub fn request_to_json(r: &Request) -> Json {
             .with("type", Json::Str("submit".into()))
             .with("specs", Json::Arr(specs.iter().map(spec_to_json).collect())),
         Request::Ping => base.with("type", Json::Str("ping".into())),
+        Request::Stats => base.with("type", Json::Str("stats".into())),
         Request::Shutdown => base.with("type", Json::Str("shutdown".into())),
     }
 }
@@ -142,6 +211,7 @@ pub fn request_from_json(v: &Json) -> Result<Request, CodecError> {
                 .map(Request::Submit)
         }
         "ping" => Ok(Request::Ping),
+        "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(CodecError(format!("unknown request type {other:?}"))),
     }
@@ -196,6 +266,8 @@ pub enum Event {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Stats`]: a metrics snapshot.
+    Stats(ServerStats),
     /// Answer to [`Request::Shutdown`].
     ShutdownAck,
 }
@@ -240,6 +312,18 @@ pub fn event_to_json(e: &Event) -> Json {
             .with("type", Json::Str("error".into()))
             .with("message", Json::Str(message.clone())),
         Event::Pong => base.with("type", Json::Str("pong".into())),
+        Event::Stats(s) => base
+            .with("type", Json::Str("stats".into()))
+            .with("queue_depth", Json::UInt(s.queue_depth))
+            .with("in_flight", Json::UInt(s.in_flight))
+            .with("workers_busy", Json::UInt(s.workers_busy))
+            .with("workers", Json::UInt(s.workers))
+            .with("jobs_done", Json::UInt(s.jobs_done))
+            .with("runs_executed", Json::UInt(s.runs_executed))
+            .with("runs_deduped", Json::UInt(s.runs_deduped))
+            .with("store_hits", Json::UInt(s.store_hits))
+            .with("p50_wall_nanos", Json::UInt(s.p50_wall_nanos))
+            .with("p99_wall_nanos", Json::UInt(s.p99_wall_nanos)),
         Event::ShutdownAck => base.with("type", Json::Str("shutdown_ack".into())),
     }
 }
@@ -292,6 +376,18 @@ pub fn event_from_json(v: &Json) -> Result<Event, CodecError> {
             message: need_str("message")?,
         }),
         "pong" => Ok(Event::Pong),
+        "stats" => Ok(Event::Stats(ServerStats {
+            queue_depth: need_u64("queue_depth")?,
+            in_flight: need_u64("in_flight")?,
+            workers_busy: need_u64("workers_busy")?,
+            workers: need_u64("workers")?,
+            jobs_done: need_u64("jobs_done")?,
+            runs_executed: need_u64("runs_executed")?,
+            runs_deduped: need_u64("runs_deduped")?,
+            store_hits: need_u64("store_hits")?,
+            p50_wall_nanos: need_u64("p50_wall_nanos")?,
+            p99_wall_nanos: need_u64("p99_wall_nanos")?,
+        })),
         "shutdown_ack" => Ok(Event::ShutdownAck),
         other => Err(CodecError(format!("unknown event type {other:?}"))),
     }
@@ -349,15 +445,52 @@ mod tests {
 
     #[test]
     fn requests_round_trip() {
-        for r in [Request::Submit(vec![spec(), spec()]), Request::Ping, Request::Shutdown] {
+        for r in [
+            Request::Submit(vec![spec(), spec()]),
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+        ] {
             let line = request_to_json(&r).render();
             let back = request_from_json(&Json::parse(&line).unwrap()).unwrap();
             match (&r, &back) {
                 (Request::Submit(a), Request::Submit(b)) => assert_eq!(a, b),
-                (Request::Ping, Request::Ping) | (Request::Shutdown, Request::Shutdown) => {}
+                (Request::Ping, Request::Ping)
+                | (Request::Stats, Request::Stats)
+                | (Request::Shutdown, Request::Shutdown) => {}
                 other => panic!("round trip changed variant: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn stats_event_round_trips() {
+        let s = ServerStats {
+            queue_depth: 3,
+            in_flight: 2,
+            workers_busy: 2,
+            workers: 4,
+            jobs_done: 17,
+            runs_executed: 10,
+            runs_deduped: 25,
+            store_hits: 5,
+            p50_wall_nanos: 41_000_000,
+            p99_wall_nanos: 900_000_000,
+        };
+        let line = event_to_json(&Event::Stats(s)).render();
+        match event_from_json(&Json::parse(&line).unwrap()).unwrap() {
+            Event::Stats(back) => assert_eq!(back, s),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12, "30 hits over 40 answers");
+        let log = s.log_line();
+        assert!(log.contains("queue_depth=3"), "{log}");
+        assert!(log.contains("workers_busy=2/4"), "{log}");
+        assert!(log.contains("p50_ms=41.00"), "{log}");
+        // Must never collide with the batch-summary greps in CI
+        // (' 0 cached,' / '(0 simulated,').
+        assert!(!log.contains(" cached,"), "{log}");
+        assert!(!log.contains(" simulated,"), "{log}");
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! The `exp serve` server: bounded work queue over a shared
 //! [`RunEngine`], in-flight coalescing, NDJSON event streaming.
 
-use super::{event_to_json, request_from_json, Event, Request, ServiceError, Source};
+use super::{event_to_json, request_from_json, Event, Request, ServerStats, ServiceError, Source};
 use crate::engine::{ProgressHook, RunEngine, RunSpec};
 use crate::json::Json;
 use crate::store::ResultStore;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -25,6 +26,9 @@ pub struct ServeConfig {
     pub progress_every: u64,
     /// Persistent store to attach, if any.
     pub store: Option<Arc<ResultStore>>,
+    /// Seconds between periodic `[serve: stats ...]` log lines
+    /// (0 disables; tests default to quiet).
+    pub stats_log_every: u64,
 }
 
 impl Default for ServeConfig {
@@ -35,6 +39,7 @@ impl Default for ServeConfig {
             queue_cap: 1024,
             progress_every: 1_000_000,
             store: None,
+            stats_log_every: 0,
         }
     }
 }
@@ -67,6 +72,16 @@ struct Inner {
     shutdown: AtomicBool,
     subs: Subscribers,
     next_sub_id: AtomicU64,
+    /// Total worker threads (for the `stats` snapshot).
+    workers: usize,
+    /// Workers currently inside `engine.get`.
+    workers_busy: AtomicUsize,
+    /// Jobs finished by workers (success or failure) since startup.
+    jobs_done: AtomicU64,
+    /// Submissions answered from the engine memo without queueing. The
+    /// engine's own dedup counter only ticks on `execute_batch`, which
+    /// the serve path never uses, so the server counts its memo hits.
+    memo_hits: AtomicU64,
 }
 
 impl Inner {
@@ -117,20 +132,33 @@ impl Inner {
                 &key,
                 &event_to_json(&Event::RunStarted { key: key.clone() }).render(),
             );
+            let started = Instant::now();
+            self.workers_busy.fetch_add(1, Ordering::SeqCst);
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 self.engine.get(&spec)
             }));
+            self.workers_busy.fetch_sub(1, Ordering::SeqCst);
+            self.jobs_done.fetch_add(1, Ordering::SeqCst);
             let mut table = self.jobs_table.lock().expect("not poisoned");
             match outcome {
                 Ok(_) => {
                     table.remove(&key);
                 }
                 Err(panic) => {
-                    let msg = panic
+                    let payload = panic
                         .downcast_ref::<String>()
                         .cloned()
                         .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
                         .unwrap_or_else(|| "simulation panicked".into());
+                    // The content key names exactly which spec died and the
+                    // elapsed time separates an instant config failure from
+                    // a deadlock detector tripping an hour in; both go to
+                    // the waiter's error event and the server log.
+                    let msg = format!(
+                        "panicked after {:.2}s: {payload}",
+                        started.elapsed().as_secs_f64()
+                    );
+                    eprintln!("error: [serve: job failed key={key} {msg}]");
                     table.insert(key, JobState::Failed(msg));
                 }
             }
@@ -138,6 +166,44 @@ impl Inner {
             self.job_done.notify_all();
         }
     }
+
+    /// A point-in-time [`ServerStats`] snapshot. Counters are read
+    /// without a global lock, so a snapshot racing live work is
+    /// approximate but each counter is individually consistent.
+    fn stats_snapshot(&self) -> ServerStats {
+        let queue_depth = self.queue.lock().expect("not poisoned").len() as u64;
+        let in_flight = {
+            let table = self.jobs_table.lock().expect("not poisoned");
+            table
+                .values()
+                .filter(|s| matches!(s, JobState::Running))
+                .count() as u64
+        };
+        let mut walls: Vec<u64> = self.engine.profiles().iter().map(|p| p.wall_nanos).collect();
+        walls.sort_unstable();
+        ServerStats {
+            queue_depth,
+            in_flight,
+            workers_busy: self.workers_busy.load(Ordering::SeqCst) as u64,
+            workers: self.workers as u64,
+            jobs_done: self.jobs_done.load(Ordering::SeqCst),
+            runs_executed: self.engine.runs_executed() as u64,
+            runs_deduped: self.engine.runs_deduped() as u64
+                + self.memo_hits.load(Ordering::Relaxed),
+            store_hits: self.engine.runs_from_store() as u64,
+            p50_wall_nanos: percentile(&walls, 50),
+            p99_wall_nanos: percentile(&walls, 99),
+        }
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as u64 * p).div_ceil(100).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 /// The `exp serve` server: owns one [`RunEngine`] (optionally backed by a
@@ -147,6 +213,7 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     jobs: usize,
+    stats_log_every: u64,
 }
 
 impl Server {
@@ -180,6 +247,7 @@ impl Server {
                 }),
             });
         }
+        let jobs = cfg.jobs.max(1);
         Ok(Server {
             inner: Arc::new(Inner {
                 engine,
@@ -191,10 +259,15 @@ impl Server {
                 shutdown: AtomicBool::new(false),
                 subs,
                 next_sub_id: AtomicU64::new(0),
+                workers: jobs,
+                workers_busy: AtomicUsize::new(0),
+                jobs_done: AtomicU64::new(0),
+                memo_hits: AtomicU64::new(0),
             }),
             listener,
             addr,
-            jobs: cfg.jobs.max(1),
+            jobs,
+            stats_log_every: cfg.stats_log_every,
         })
     }
 
@@ -213,6 +286,22 @@ impl Server {
                 std::thread::spawn(move || inner.worker())
             })
             .collect();
+        // Periodic observability heartbeat: one structured stats line per
+        // interval, polling the shutdown flag often enough to exit fast.
+        let monitor = (self.stats_log_every > 0).then(|| {
+            let inner = Arc::clone(&self.inner);
+            let every = Duration::from_secs(self.stats_log_every);
+            std::thread::spawn(move || {
+                let mut last = Instant::now();
+                while !inner.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(100));
+                    if last.elapsed() >= every {
+                        println!("{}", inner.stats_snapshot().log_line());
+                        last = Instant::now();
+                    }
+                }
+            })
+        });
         let mut conns = Vec::new();
         loop {
             if self.inner.shutdown.load(Ordering::SeqCst) {
@@ -241,6 +330,9 @@ impl Server {
         self.inner.queue_cv.notify_all();
         for w in workers {
             let _ = w.join();
+        }
+        if let Some(m) = monitor {
+            let _ = m.join();
         }
         for c in conns {
             let _ = c.join();
@@ -293,6 +385,7 @@ fn handle_connection(
                 break;
             }
             Ok(Request::Ping) => send(&Event::Pong),
+            Ok(Request::Stats) => send(&Event::Stats(inner.stats_snapshot())),
             Ok(Request::Shutdown) => {
                 send(&Event::ShutdownAck);
                 inner.shutdown.store(true, Ordering::SeqCst);
@@ -343,7 +436,14 @@ fn handle_submit(
             continue;
         }
         handled.insert(key);
+        let store_hits_before = inner.engine.runs_from_store();
         if inner.engine.lookup(spec).is_some() {
+            // A hit that did not bump the store counter came from the
+            // memo (approximate under concurrent submitters; stats
+            // snapshots are documented as best-effort).
+            if inner.engine.runs_from_store() == store_hits_before {
+                inner.memo_hits.fetch_add(1, Ordering::Relaxed);
+            }
             sources.push(Source::Cached);
             continue;
         }
@@ -417,4 +517,22 @@ fn handle_submit(
         }
     }
     send(&Event::BatchDone { runs: specs.len() });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        assert_eq!(percentile(&[], 50), 0);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), 50);
+        assert_eq!(percentile(&v, 99), 99);
+        assert_eq!(percentile(&v, 100), 100);
+        assert_eq!(percentile(&[10, 20, 30, 40], 50), 20);
+        assert_eq!(percentile(&[10, 20, 30, 40], 99), 40);
+    }
 }

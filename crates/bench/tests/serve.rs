@@ -193,6 +193,51 @@ fn progress_events_stream_for_long_runs() {
     handle.join().expect("server thread exits cleanly");
 }
 
+#[test]
+fn stats_request_reports_server_metrics() {
+    let h = Harness::quick();
+    let specs = vec![
+        spec(&h, "vecadd", WarpPolicy::Gto),
+        spec(&h, "saxpy", WarpPolicy::Gto),
+    ];
+
+    let (addr, handle) = start(ServeConfig {
+        jobs: 2,
+        ..ServeConfig::default()
+    });
+    let client = RemoteClient::new(&addr);
+
+    // Cold server: everything zero, workers idle.
+    let cold = client.stats().expect("cold stats");
+    assert_eq!(cold.queue_depth, 0);
+    assert_eq!(cold.in_flight, 0);
+    assert_eq!(cold.jobs_done, 0);
+    assert_eq!(cold.runs_executed, 0);
+    assert_eq!(cold.workers, 2);
+    assert_eq!(cold.p50_wall_nanos, 0, "no profiles yet");
+    assert_eq!(cold.hit_rate(), 0.0);
+
+    // A batch, then the same batch again (memo hits).
+    let mut remote = RemoteClient::new(&addr);
+    remote.run_batch(&specs).expect("first batch");
+    remote.run_batch(&specs).expect("second batch");
+
+    let warm = client.stats().expect("warm stats");
+    assert_eq!(warm.queue_depth, 0, "batches drained");
+    assert_eq!(warm.in_flight, 0);
+    assert_eq!(warm.workers_busy, 0);
+    assert_eq!(warm.jobs_done, 2, "one worker job per unique spec");
+    assert_eq!(warm.runs_executed, 2);
+    assert_eq!(warm.runs_deduped, 2, "the repeat batch hit the memo");
+    assert!(warm.hit_rate() > 0.0);
+    assert!(warm.p50_wall_nanos > 0, "simulated jobs have wall times");
+    assert!(warm.p99_wall_nanos >= warm.p50_wall_nanos);
+    assert!(warm.log_line().contains("jobs_done=2"), "{}", warm.log_line());
+
+    client_shutdown(&addr);
+    handle.join().expect("server thread exits cleanly");
+}
+
 fn client_shutdown(addr: &str) {
     RemoteClient::new(addr).shutdown().expect("shutdown ack");
 }

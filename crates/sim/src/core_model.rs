@@ -36,6 +36,23 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Per-core issue/stall statistics.
+///
+/// Beyond the legacy slot counters, every scheduler-slot cycle that fails
+/// to issue is attributed to exactly one cause in a fixed taxonomy (the
+/// six `stall_*` counters), and cycle-weighted occupancy integrals record
+/// how full the core was while time passed. The accounting identity
+///
+/// ```text
+/// stall_no_resident + stall_scoreboard + stall_mem_pending
+///   + stall_exec_busy + stall_barrier + stall_ff_idle
+///   == idle_slots + stalled_slots
+/// ```
+///
+/// holds per core at all times (checked by
+/// [`conservation_violations`](crate::invariants::conservation_violations)),
+/// so `issued_slots + Σ stall_* ` covers every scheduler slot exactly
+/// once. All counters are strictly observational and byte-identical at
+/// any `--sim-threads` count with fast-forward on or off.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CoreStats {
     /// Instructions issued (warp-instructions, not lane-ops).
@@ -52,6 +69,69 @@ pub struct CoreStats {
     pub shared_replays: u64,
     /// CTAs completed.
     pub ctas_completed: u64,
+    /// Core cycles observed (live plus fast-forwarded); equals the device
+    /// clock, since every core is stepped (or accounted) every cycle.
+    pub core_cycles: u64,
+    /// Non-issuing slots of a scheduler partition with no resident warps
+    /// (undersubscribed core), outside fast-forwardable quiet cycles.
+    pub stall_no_resident: u64,
+    /// Non-issuing slots where every resident warp waits on a scoreboard
+    /// dependency (an in-flight ALU/SFU/shared writeback).
+    pub stall_scoreboard: u64,
+    /// Non-issuing slots attributable to the memory system: a warp with
+    /// global loads outstanding, or a global access stopped by a full
+    /// LSQ/MSHR.
+    pub stall_mem_pending: u64,
+    /// Non-issuing slots where a ready shared-memory access waits for the
+    /// shared pipe (bank-conflict replays in flight).
+    pub stall_exec_busy: u64,
+    /// Non-issuing slots where every resident warp waits at a CTA barrier.
+    pub stall_barrier: u64,
+    /// Slots of provably-quiet cycles: nothing on this core could issue or
+    /// make progress without an external event. These are exactly the
+    /// cycles the idle fast-forward may skip, booked identically whether
+    /// it does or not.
+    pub stall_ff_idle: u64,
+    /// Cycle-weighted resident-CTA integral: Σ over cycles of the CTA
+    /// count. Divide by `core_cycles` for average CTA occupancy.
+    pub cta_resident_cycles: u64,
+    /// Cycle-weighted resident-warp integral: Σ over cycles of the
+    /// resident warp count. Divide by `core_cycles` for average warp
+    /// occupancy.
+    pub warp_resident_cycles: u64,
+}
+
+impl CoreStats {
+    /// Sum of the six stall-taxonomy counters; always equals
+    /// `idle_slots + stalled_slots`.
+    pub fn stall_total(&self) -> u64 {
+        self.stall_no_resident
+            + self.stall_scoreboard
+            + self.stall_mem_pending
+            + self.stall_exec_busy
+            + self.stall_barrier
+            + self.stall_ff_idle
+    }
+
+    /// Average resident CTAs over the core's lifetime (0 when no cycles
+    /// have elapsed).
+    pub fn avg_resident_ctas(&self) -> f64 {
+        if self.core_cycles == 0 {
+            0.0
+        } else {
+            self.cta_resident_cycles as f64 / self.core_cycles as f64
+        }
+    }
+
+    /// Average resident warps over the core's lifetime (0 when no cycles
+    /// have elapsed).
+    pub fn avg_resident_warps(&self) -> f64 {
+        if self.core_cycles == 0 {
+            0.0
+        } else {
+            self.warp_resident_cycles as f64 / self.core_cycles as f64
+        }
+    }
 }
 
 /// A CTA that retired from this core this cycle (the device wraps this
@@ -138,14 +218,49 @@ struct LoadTrack {
 enum ReadyState {
     /// No cached verdict; run the full readiness check.
     Unknown,
-    /// Blocked for a warp-local reason (scoreboard, barrier, finished).
-    Blocked,
+    /// Blocked for a warp-local reason; the payload records why, for
+    /// stall attribution. Cached together with the verdict: both become
+    /// stale through exactly the same unblocking events.
+    Blocked(BlockCause),
     /// Ready, with no structural dependence.
     Ready,
     /// Scoreboard passed; issues iff the LSQ has space.
     ReadyMemGlobal,
     /// Scoreboard passed; issues iff the shared-memory pipe is free.
     ReadyMemShared,
+}
+
+/// Why a warp-local readiness check came back blocked (carried inside
+/// [`ReadyState::Blocked`] so the stall classifier can attribute the
+/// partition's lost cycle without re-deriving anything).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockCause {
+    /// Waiting at a CTA barrier.
+    Barrier,
+    /// Scoreboard dependency on an in-flight ALU/SFU/shared writeback.
+    Scoreboard,
+    /// Scoreboard dependency with global-memory loads outstanding.
+    Mem,
+}
+
+/// Why one scheduler partition failed to issue this cycle. Recorded per
+/// partition during the issue scan and folded into [`CoreStats`] once the
+/// cycle's quiet verdict is known (quiet cycles collapse into
+/// `stall_ff_idle` so live and fast-forwarded accounting agree).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotStall {
+    /// The partition issued — no stall to attribute.
+    Issued,
+    /// No resident warps in the partition.
+    NoResident,
+    /// Every resident warp blocked on a scoreboard dependency.
+    Scoreboard,
+    /// Blocked on the memory system (outstanding loads or LSQ/MSHR full).
+    MemPending,
+    /// A ready shared-memory access waits for the shared pipe.
+    ExecBusy,
+    /// Every resident warp waits at a CTA barrier.
+    Barrier,
 }
 
 /// Per-cycle staging buffers between the core's *compute* phase and the
@@ -236,6 +351,10 @@ pub struct Core {
     /// `Option<Warp>` array — the steady-state scan then touches two
     /// cache lines instead of one per slot.
     occupied_mask: Vec<u64>,
+    /// Persistent scratch recording each scheduler partition's outcome
+    /// for the current cycle; folded into the stall taxonomy at the end
+    /// of the issue stage once the quiet verdict is known.
+    scratch_outcomes: Vec<SlotStall>,
     /// Compute-phase output buffers, drained by the merge phase.
     staging: CoreStaging,
 }
@@ -301,6 +420,7 @@ impl Core {
             had_ready_warp: false,
             ready_state: vec![ReadyState::Unknown; cfg.max_warps_per_core as usize],
             occupied_mask: vec![0; ready_words],
+            scratch_outcomes: Vec::new(),
             staging: CoreStaging::default(),
             cfg,
         }
@@ -584,7 +704,10 @@ impl Core {
             return None;
         }
         let mut wake = self.wb_next;
-        if self.shared_pipe_free > now {
+        // `>=`: at `shared_pipe_free == now` the pipe frees exactly on the
+        // next cycle to run, which may make a shared-memory warp issuable
+        // — that cycle must execute live, not be skipped.
+        if self.shared_pipe_free >= now {
             wake = wake.min(self.shared_pipe_free);
         }
         Some(wake)
@@ -595,6 +718,12 @@ impl Core {
     /// partition with resident warps (none ready, by the quiet check)
     /// stalls, an empty one idles. Warp residency cannot change during
     /// quiet cycles, so one scan covers the whole span.
+    ///
+    /// Cycle accounting follows the same closed form: every skipped cycle
+    /// is quiet by construction, so each would have booked its scheduler
+    /// slots as `stall_ff_idle` had it run live (the issue stage applies
+    /// the identical quiet predicate per cycle), and the occupancy
+    /// integrals advance by the frozen residency times the span length.
     pub(crate) fn account_skipped(&mut self, cycles: u64) {
         let nsched = self.schedulers.len();
         for s in 0..nsched {
@@ -607,6 +736,10 @@ impl Core {
                 self.stats.idle_slots += cycles;
             }
         }
+        self.stats.stall_ff_idle += nsched as u64 * cycles;
+        self.stats.core_cycles += cycles;
+        self.stats.cta_resident_cycles += u64::from(self.active_cta_count()) * cycles;
+        self.stats.warp_resident_cycles += u64::from(self.used_warps) * cycles;
     }
 
     /// Advances the core one cycle: the compute phase followed immediately
@@ -823,13 +956,21 @@ impl Core {
     /// hits the slot.
     fn readiness(&mut self, slot: usize) -> ReadyState {
         let Some(w) = self.warps[slot].as_mut() else {
-            return ReadyState::Blocked;
+            return ReadyState::Blocked(BlockCause::Scoreboard);
         };
         if w.at_barrier {
-            return ReadyState::Blocked;
+            return ReadyState::Blocked(BlockCause::Barrier);
         }
         let Some((pc, _mask)) = w.stack.sync(w.exited) else {
-            return ReadyState::Blocked;
+            return ReadyState::Blocked(BlockCause::Scoreboard);
+        };
+        // Any scoreboard wait while the warp has global loads in flight is
+        // attributed to memory — the load's latency is what the warp is
+        // really paying for — otherwise to the in-core writeback pipe.
+        let dep = if w.outstanding_loads > 0 {
+            ReadyState::Blocked(BlockCause::Mem)
+        } else {
+            ReadyState::Blocked(BlockCause::Scoreboard)
         };
         let ins = *w.desc.program().fetch(pc);
         // Scoreboard: sources, destination, and involved predicates.
@@ -837,41 +978,41 @@ impl Core {
         let pred_pending = |p: gpgpu_isa::Pred| w.pending_preds & (1u8 << p.0) != 0;
         if let Some(g) = ins.guard {
             if pred_pending(g.pred) {
-                return ReadyState::Blocked;
+                return dep;
             }
         }
         if ins.src_regs().iter().any(|r| reg_pending(*r)) {
-            return ReadyState::Blocked;
+            return dep;
         }
         if let Some(d) = ins.dst_reg() {
             if reg_pending(d) {
-                return ReadyState::Blocked;
+                return dep;
             }
         }
         match &ins.op {
             Instr::SetP { dst, .. } => {
                 if pred_pending(*dst) {
-                    return ReadyState::Blocked;
+                    return dep;
                 }
             }
             Instr::PBool { dst, a, b, .. } => {
                 if pred_pending(*dst) || pred_pending(*a) || pred_pending(*b) {
-                    return ReadyState::Blocked;
+                    return dep;
                 }
             }
             Instr::Sel { pred, .. } => {
                 if pred_pending(*pred) {
-                    return ReadyState::Blocked;
+                    return dep;
                 }
             }
             Instr::BraCond { pred, .. } => {
                 if pred_pending(*pred) {
-                    return ReadyState::Blocked;
+                    return dep;
                 }
             }
             Instr::Exit => {
                 if w.pending_regs != 0 || w.pending_preds != 0 || w.outstanding_loads != 0 {
-                    return ReadyState::Blocked;
+                    return dep;
                 }
             }
             _ => {}
@@ -892,6 +1033,8 @@ impl Core {
         let mut schedulers = std::mem::take(&mut self.schedulers);
         let mut candidates = std::mem::take(&mut self.scratch_candidates);
         let mut ready = std::mem::take(&mut self.ready_mask);
+        let mut outcomes = std::mem::take(&mut self.scratch_outcomes);
+        outcomes.clear();
         self.had_ready_warp = false;
         for (s, sched) in schedulers.iter_mut().enumerate() {
             let mut occupied_any = false;
@@ -916,7 +1059,7 @@ impl Core {
                         ReadyState::Ready => true,
                         ReadyState::ReadyMemGlobal => lsq_has_space,
                         ReadyState::ReadyMemShared => shared_free,
-                        ReadyState::Blocked | ReadyState::Unknown => false,
+                        ReadyState::Blocked(_) | ReadyState::Unknown => false,
                     };
                     if ready_now {
                         candidates.push(slot);
@@ -926,10 +1069,12 @@ impl Core {
             }
             if !occupied_any {
                 self.stats.idle_slots += 1;
+                outcomes.push(SlotStall::NoResident);
                 continue;
             }
             if candidates.is_empty() {
                 self.stats.stalled_slots += 1;
+                outcomes.push(self.classify_stall(s, nsched, lsq_has_space, shared_free));
                 continue;
             }
             self.had_ready_warp = true;
@@ -940,11 +1085,15 @@ impl Core {
             let Some(slot) =
                 picked.filter(|&p| p >> 6 < ready.len() && ready[p >> 6] & (1u64 << (p & 63)) != 0)
             else {
+                // Defensive path: ready work existed but the policy
+                // declined it — the issue unit sat on its hands.
                 self.stats.stalled_slots += 1;
+                outcomes.push(SlotStall::ExecBusy);
                 continue;
             };
             sched.on_issue(slot);
             self.stats.issued_slots += 1;
+            outcomes.push(SlotStall::Issued);
             // Issuing advances the warp's pc and scoreboard state: its
             // cached verdict is stale.
             self.ready_state[slot] = ReadyState::Unknown;
@@ -952,13 +1101,80 @@ impl Core {
                 self.staging.completions.push(c);
             }
         }
+        // Cycle accounting. A quiet cycle — no ready warp and no memory
+        // work in flight on this core — is exactly one the idle
+        // fast-forward may skip (`quiet_wake`); booking it as
+        // `stall_ff_idle` here, from core-local state only, keeps every
+        // counter byte-identical across fast-forward modes and thread
+        // counts. Non-quiet cycles book the per-partition attributions
+        // recorded during the scan.
+        let quiet = !self.had_ready_warp
+            && self.lsq.is_empty()
+            && self.staged_downstream.is_none()
+            && !self.l1.has_downstream();
+        if quiet {
+            self.stats.stall_ff_idle += nsched as u64;
+        } else {
+            for o in &outcomes {
+                match o {
+                    SlotStall::Issued => {}
+                    SlotStall::NoResident => self.stats.stall_no_resident += 1,
+                    SlotStall::Scoreboard => self.stats.stall_scoreboard += 1,
+                    SlotStall::MemPending => self.stats.stall_mem_pending += 1,
+                    SlotStall::ExecBusy => self.stats.stall_exec_busy += 1,
+                    SlotStall::Barrier => self.stats.stall_barrier += 1,
+                }
+            }
+        }
+        self.stats.core_cycles += 1;
+        self.stats.cta_resident_cycles += u64::from(self.active_cta_count());
+        self.stats.warp_resident_cycles += u64::from(self.used_warps);
         self.ready_mask = ready;
         self.scratch_candidates = candidates;
+        self.scratch_outcomes = outcomes;
         self.schedulers = schedulers;
         for slot in std::mem::take(&mut self.finished_warps) {
             for s in &mut self.schedulers {
                 s.on_warp_finish(slot);
             }
+        }
+    }
+
+    /// Attributes a stalled scheduler partition (occupied, no candidates)
+    /// to one taxonomy cause by OR-ing the per-warp verdicts and picking
+    /// the highest-priority cause present: memory > execution unit >
+    /// scoreboard > barrier. Reads only memoized state — by the time a
+    /// partition stalls, every occupied slot's verdict was just computed
+    /// or cached by the scan.
+    fn classify_stall(
+        &self,
+        s: usize,
+        nsched: usize,
+        lsq_has_space: bool,
+        shared_free: bool,
+    ) -> SlotStall {
+        let (mut mem, mut exec, mut sb, mut bar) = (false, false, false, false);
+        for slot in (s..self.warps.len()).step_by(nsched) {
+            if self.occupied_mask[slot >> 6] & (1u64 << (slot & 63)) == 0 {
+                continue;
+            }
+            match self.ready_state[slot] {
+                ReadyState::Blocked(BlockCause::Mem) => mem = true,
+                ReadyState::Blocked(BlockCause::Scoreboard) => sb = true,
+                ReadyState::Blocked(BlockCause::Barrier) => bar = true,
+                ReadyState::ReadyMemGlobal if !lsq_has_space => mem = true,
+                ReadyState::ReadyMemShared if !shared_free => exec = true,
+                _ => {}
+            }
+        }
+        if mem {
+            SlotStall::MemPending
+        } else if exec {
+            SlotStall::ExecBusy
+        } else if bar && !sb {
+            SlotStall::Barrier
+        } else {
+            SlotStall::Scoreboard
         }
     }
 

@@ -57,6 +57,34 @@ pub fn conservation_violations(stats: &SimStats) -> Vec<String> {
         }
     }
 
+    // Stall-attribution conservation: the taxonomy classifies every
+    // non-issuing scheduler slot exactly once, so per core its six
+    // counters must sum to the legacy idle + stalled total (fast-forwarded
+    // spans included — they are booked as FastForwardedIdle on one side
+    // and idle/stalled on the other).
+    for (i, c) in stats.cores.iter().enumerate() {
+        let attributed = c.stall_total();
+        let lost = c.idle_slots + c.stalled_slots;
+        if attributed != lost {
+            v.push(format!(
+                "core {i}: stall taxonomy attributes {attributed} slots, \
+                 idle+stalled book {lost}"
+            ));
+        }
+    }
+
+    // Every core is stepped (or fast-forward-accounted) every device
+    // cycle, so the observed cycle counts must agree across cores.
+    for pair in stats.cores.windows(2) {
+        if pair[0].core_cycles != pair[1].core_cycles {
+            v.push(format!(
+                "cores disagree on elapsed cycles: {} vs {}",
+                pair[0].core_cycles, pair[1].core_cycles
+            ));
+            break;
+        }
+    }
+
     // CTA conservation: every CTA of every kernel retires on exactly one
     // core — equality at quiesce, never an excess mid-run.
     let cores_completed: u64 = stats.cores.iter().map(|c| c.ctas_completed).sum();
@@ -197,5 +225,35 @@ mod tests {
         s.kernels[0].end_cycle = 5; // before start_cycle 10
         let v = conservation_violations(&s);
         assert!(v.iter().any(|m| m.contains("before starting")), "{v:?}");
+    }
+
+    #[test]
+    fn stall_taxonomy_must_balance_slot_counters() {
+        let mut s = balanced();
+        // Attribute the lost slots fully: 6 stalled + 4 idle across the
+        // taxonomy balances; then break it by one slot.
+        s.cores[0].stalled_slots = 6;
+        s.cores[0].idle_slots = 4;
+        s.cores[0].stall_scoreboard = 3;
+        s.cores[0].stall_mem_pending = 2;
+        s.cores[0].stall_barrier = 1;
+        s.cores[0].stall_no_resident = 1;
+        s.cores[0].stall_ff_idle = 3;
+        assert_conservation(&s);
+        s.cores[0].stall_ff_idle = 2;
+        let v = conservation_violations(&s);
+        assert!(v.iter().any(|m| m.contains("stall taxonomy")), "{v:?}");
+    }
+
+    #[test]
+    fn cores_must_agree_on_elapsed_cycles() {
+        let mut s = balanced();
+        s.cores[0].core_cycles = 1000;
+        s.cores[1].core_cycles = 999;
+        let v = conservation_violations(&s);
+        assert!(
+            v.iter().any(|m| m.contains("disagree on elapsed cycles")),
+            "{v:?}"
+        );
     }
 }

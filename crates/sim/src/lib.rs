@@ -54,7 +54,7 @@ pub use sched_api::{
     IssueView, KernelId, KernelSummary, WarpMeta, WarpScheduler, WarpSchedulerFactory,
 };
 pub use simt::{LaneMask, SimtStack, FULL_MASK};
-pub use stats::{KernelStats, SimStats};
+pub use stats::{KernelStats, SimStats, StallBreakdown};
 pub use telemetry::{
     CsvSink, IntervalSample, JsonlSink, MemorySink, NullSink, PolicyDecision, Telemetry,
     TelemetryConfig, TelemetryData, TraceEvent, TraceSink,

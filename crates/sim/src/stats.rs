@@ -113,6 +113,117 @@ impl SimStats {
     pub fn kernel(&self, kernel: KernelId) -> Option<&KernelStats> {
         self.kernels.iter().find(|k| k.id == kernel)
     }
+
+    /// Device-wide cycle-accounting roll-up: the stall taxonomy and
+    /// occupancy integrals summed over every core.
+    pub fn stall_breakdown(&self) -> StallBreakdown {
+        let mut b = StallBreakdown::default();
+        for c in &self.cores {
+            b.core_cycles += c.core_cycles;
+            b.issued_slots += c.issued_slots;
+            b.idle_slots += c.idle_slots;
+            b.stalled_slots += c.stalled_slots;
+            b.no_resident += c.stall_no_resident;
+            b.scoreboard += c.stall_scoreboard;
+            b.mem_pending += c.stall_mem_pending;
+            b.exec_busy += c.stall_exec_busy;
+            b.barrier += c.stall_barrier;
+            b.ff_idle += c.stall_ff_idle;
+            b.cta_resident_cycles += c.cta_resident_cycles;
+            b.warp_resident_cycles += c.warp_resident_cycles;
+        }
+        b
+    }
+}
+
+/// Device-wide cycle accounting: where every scheduler slot went, summed
+/// over cores (see [`CoreStats`] for the per-core counters and the
+/// conservation identity). Built by [`SimStats::stall_breakdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Core cycles summed over cores (device cycles × core count).
+    pub core_cycles: u64,
+    /// Scheduler slots that issued.
+    pub issued_slots: u64,
+    /// Scheduler slots with no resident warps (legacy counter).
+    pub idle_slots: u64,
+    /// Scheduler slots with resident but unready warps (legacy counter).
+    pub stalled_slots: u64,
+    /// `NoResidentWarp` stall slots.
+    pub no_resident: u64,
+    /// `ScoreboardDep` stall slots.
+    pub scoreboard: u64,
+    /// `MemPending` (outstanding loads / LSQ / MSHR-full) stall slots.
+    pub mem_pending: u64,
+    /// `ExecUnitBusy` (shared-pipe busy, pick-declined) stall slots.
+    pub exec_busy: u64,
+    /// `BarrierWait` stall slots.
+    pub barrier: u64,
+    /// `FastForwardedIdle` (provably quiet cycle) stall slots.
+    pub ff_idle: u64,
+    /// Cycle-weighted resident-CTA integral summed over cores.
+    pub cta_resident_cycles: u64,
+    /// Cycle-weighted resident-warp integral summed over cores.
+    pub warp_resident_cycles: u64,
+}
+
+impl StallBreakdown {
+    /// Sum of the six taxonomy counters; equals
+    /// `idle_slots + stalled_slots` by the conservation identity.
+    pub fn stall_total(&self) -> u64 {
+        self.no_resident
+            + self.scoreboard
+            + self.mem_pending
+            + self.exec_busy
+            + self.barrier
+            + self.ff_idle
+    }
+
+    /// Every scheduler slot accounted: issued plus all stall categories.
+    pub fn total_slots(&self) -> u64 {
+        self.issued_slots + self.stall_total()
+    }
+
+    /// `count` as a fraction of all scheduler slots (0 when empty).
+    pub fn slot_fraction(&self, count: u64) -> f64 {
+        let total = self.total_slots();
+        if total == 0 {
+            0.0
+        } else {
+            count as f64 / total as f64
+        }
+    }
+
+    /// Average resident CTAs per core over the run.
+    pub fn avg_resident_ctas(&self) -> f64 {
+        if self.core_cycles == 0 {
+            0.0
+        } else {
+            self.cta_resident_cycles as f64 / self.core_cycles as f64
+        }
+    }
+
+    /// Average resident warps per core over the run.
+    pub fn avg_resident_warps(&self) -> f64 {
+        if self.core_cycles == 0 {
+            0.0
+        } else {
+            self.warp_resident_cycles as f64 / self.core_cycles as f64
+        }
+    }
+
+    /// `(label, count)` pairs for the six taxonomy categories, in
+    /// rendering order (the labels are the ISSUE/DESIGN taxonomy names).
+    pub fn categories(&self) -> [(&'static str, u64); 6] {
+        [
+            ("NoResidentWarp", self.no_resident),
+            ("ScoreboardDep", self.scoreboard),
+            ("MemPending", self.mem_pending),
+            ("ExecUnitBusy", self.exec_busy),
+            ("BarrierWait", self.barrier),
+            ("FastForwardedIdle", self.ff_idle),
+        ]
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +281,44 @@ mod tests {
         assert_eq!(k.elapsed(300), 200);
         assert!((k.ipc_at(300) - 2.0).abs() < 1e-12);
         assert_eq!(k.elapsed(50), 0, "clock before activation saturates");
+    }
+
+    #[test]
+    fn stall_breakdown_sums_cores() {
+        let mut a = CoreStats::default();
+        a.core_cycles = 100;
+        a.issued_slots = 40;
+        a.idle_slots = 10;
+        a.stalled_slots = 50;
+        a.stall_scoreboard = 30;
+        a.stall_mem_pending = 20;
+        a.stall_no_resident = 10;
+        a.cta_resident_cycles = 300;
+        a.warp_resident_cycles = 1200;
+        let mut b = CoreStats::default();
+        b.core_cycles = 100;
+        b.stall_ff_idle = 100;
+        b.idle_slots = 100;
+        let s = SimStats {
+            cycles: 100,
+            instructions: 0,
+            kernels: Vec::new(),
+            l1: Default::default(),
+            fabric: Default::default(),
+            cores: vec![a, b],
+            malformed_dispatches: 0,
+        };
+        let bd = s.stall_breakdown();
+        assert_eq!(bd.core_cycles, 200);
+        assert_eq!(bd.stall_total(), 30 + 20 + 10 + 100);
+        assert_eq!(bd.stall_total(), bd.idle_slots + bd.stalled_slots);
+        assert_eq!(bd.total_slots(), 40 + 160);
+        assert!((bd.avg_resident_ctas() - 1.5).abs() < 1e-12);
+        assert!((bd.avg_resident_warps() - 6.0).abs() < 1e-12);
+        assert!((bd.slot_fraction(bd.issued_slots) - 0.2).abs() < 1e-12);
+        let cats = bd.categories();
+        assert_eq!(cats[1], ("ScoreboardDep", 30));
+        assert_eq!(cats[5], ("FastForwardedIdle", 100));
     }
 
     #[test]

@@ -470,6 +470,26 @@ pub struct IntervalSample {
     /// 4 KiB functional-memory pages materialized by the end of the
     /// interval (the workload's touched footprint).
     pub gmem_pages: u64,
+    /// `NoResidentWarp` stall slots in the interval, summed over cores.
+    pub stall_no_resident: u64,
+    /// `ScoreboardDep` stall slots in the interval.
+    pub stall_scoreboard: u64,
+    /// `MemPending` (outstanding loads / LSQ full) stall slots in the
+    /// interval.
+    pub stall_mem_pending: u64,
+    /// `ExecUnitBusy` stall slots in the interval.
+    pub stall_exec_busy: u64,
+    /// `BarrierWait` stall slots in the interval.
+    pub stall_barrier: u64,
+    /// `FastForwardedIdle` (provably quiet cycle) stall slots in the
+    /// interval.
+    pub stall_ff_idle: u64,
+    /// Cycle-weighted resident-CTA integral over the interval, summed
+    /// over cores.
+    pub cta_resident_cycles: u64,
+    /// Cycle-weighted resident-warp integral over the interval, summed
+    /// over cores.
+    pub warp_resident_cycles: u64,
 }
 
 impl IntervalSample {
@@ -513,13 +533,39 @@ impl IntervalSample {
         rate(self.dram_row_hits, self.dram_row_hits + self.dram_row_misses)
     }
 
+    /// Average resident CTAs per core over the interval (cycle-weighted,
+    /// unlike the instantaneous `resident_ctas` snapshot).
+    pub fn avg_resident_ctas(&self) -> f64 {
+        let denom = self.cycles() * self.core_ctas.len() as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            self.cta_resident_cycles as f64 / denom as f64
+        }
+    }
+
+    /// Average resident warps per core over the interval (cycle-weighted).
+    pub fn avg_resident_warps(&self) -> f64 {
+        let denom = self.cycles() * self.core_warps.len() as u64;
+        if denom == 0 {
+            0.0
+        } else {
+            self.warp_resident_cycles as f64 / denom as f64
+        }
+    }
+
     /// The CSV header matching [`csv_row`](Self::csv_row).
+    ///
+    /// New columns are append-only: downstream consumers (and the CI
+    /// trace-smoke grep) key on the `cycle_start,cycle_end,ipc,` prefix.
     pub fn csv_header() -> &'static str {
         "cycle_start,cycle_end,ipc,instructions,issued_slots,stalled_slots,idle_slots,\
          resident_ctas,resident_warps,core_ctas,core_warps,\
          l1_accesses,l1_hits,l1_hit_rate,l1_reservation_fails,l1_mshrs_in_use,\
          l2_accesses,l2_hits,l2_hit_rate,\
-         dram_row_hits,dram_row_misses,dram_row_hit_rate,dram_rejected,gmem_pages"
+         dram_row_hits,dram_row_misses,dram_row_hit_rate,dram_rejected,gmem_pages,\
+         stall_no_resident,stall_scoreboard,stall_mem_pending,stall_exec_busy,\
+         stall_barrier,stall_ff_idle,avg_resident_ctas,avg_resident_warps"
     }
 
     /// Renders the sample as one CSV row (per-core vectors join with
@@ -532,7 +578,8 @@ impl IntervalSample {
                 .join("|")
         };
         format!(
-            "{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{:.6},{},{},{:.6},{},{}",
+            "{},{},{:.6},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{},{:.6},{},{},{:.6},{},{},\
+             {},{},{},{},{},{},{:.6},{:.6}",
             self.cycle_start,
             self.cycle_end,
             self.ipc(),
@@ -557,6 +604,14 @@ impl IntervalSample {
             self.dram_row_hit_rate(),
             self.dram_rejected,
             self.gmem_pages,
+            self.stall_no_resident,
+            self.stall_scoreboard,
+            self.stall_mem_pending,
+            self.stall_exec_busy,
+            self.stall_barrier,
+            self.stall_ff_idle,
+            self.avg_resident_ctas(),
+            self.avg_resident_warps(),
         )
     }
 }
@@ -689,11 +744,22 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn sample(&mut self, s: &IntervalSample) {
         let _ = writeln!(
             self.w,
-            "{{\"type\":\"sample\",\"cycle_start\":{},\"cycle_end\":{},\"instructions\":{},\"ipc\":{:.6}}}",
+            "{{\"type\":\"sample\",\"cycle_start\":{},\"cycle_end\":{},\"instructions\":{},\"ipc\":{:.6},\
+             \"stall_no_resident\":{},\"stall_scoreboard\":{},\"stall_mem_pending\":{},\
+             \"stall_exec_busy\":{},\"stall_barrier\":{},\"stall_ff_idle\":{},\
+             \"avg_resident_ctas\":{:.6},\"avg_resident_warps\":{:.6}}}",
             s.cycle_start,
             s.cycle_end,
             s.instructions,
-            s.ipc()
+            s.ipc(),
+            s.stall_no_resident,
+            s.stall_scoreboard,
+            s.stall_mem_pending,
+            s.stall_exec_busy,
+            s.stall_barrier,
+            s.stall_ff_idle,
+            s.avg_resident_ctas(),
+            s.avg_resident_warps(),
         );
     }
 
@@ -766,6 +832,14 @@ struct Baseline {
     dram_row_hits: u64,
     dram_row_misses: u64,
     dram_rejected: u64,
+    stall_no_resident: u64,
+    stall_scoreboard: u64,
+    stall_mem_pending: u64,
+    stall_exec_busy: u64,
+    stall_barrier: u64,
+    stall_ff_idle: u64,
+    cta_resident_cycles: u64,
+    warp_resident_cycles: u64,
 }
 
 /// The device-attached telemetry state: a config, a sink, and the
@@ -884,6 +958,14 @@ impl Telemetry {
             now.issued_slots += cs.issued_slots;
             now.stalled_slots += cs.stalled_slots;
             now.idle_slots += cs.idle_slots;
+            now.stall_no_resident += cs.stall_no_resident;
+            now.stall_scoreboard += cs.stall_scoreboard;
+            now.stall_mem_pending += cs.stall_mem_pending;
+            now.stall_exec_busy += cs.stall_exec_busy;
+            now.stall_barrier += cs.stall_barrier;
+            now.stall_ff_idle += cs.stall_ff_idle;
+            now.cta_resident_cycles += cs.cta_resident_cycles;
+            now.warp_resident_cycles += cs.warp_resident_cycles;
             let l1 = core.l1_stats();
             now.l1_accesses += l1.accesses();
             now.l1_hits += l1.hits();
@@ -911,6 +993,14 @@ impl Telemetry {
         s.dram_row_hits = now.dram_row_hits - self.base.dram_row_hits;
         s.dram_row_misses = now.dram_row_misses - self.base.dram_row_misses;
         s.dram_rejected = now.dram_rejected - self.base.dram_rejected;
+        s.stall_no_resident = now.stall_no_resident - self.base.stall_no_resident;
+        s.stall_scoreboard = now.stall_scoreboard - self.base.stall_scoreboard;
+        s.stall_mem_pending = now.stall_mem_pending - self.base.stall_mem_pending;
+        s.stall_exec_busy = now.stall_exec_busy - self.base.stall_exec_busy;
+        s.stall_barrier = now.stall_barrier - self.base.stall_barrier;
+        s.stall_ff_idle = now.stall_ff_idle - self.base.stall_ff_idle;
+        s.cta_resident_cycles = now.cta_resident_cycles - self.base.cta_resident_cycles;
+        s.warp_resident_cycles = now.warp_resident_cycles - self.base.warp_resident_cycles;
         self.base = now;
         self.sink.sample(&s);
     }
@@ -1013,10 +1103,21 @@ mod tests {
             dram_row_misses: 2,
             dram_rejected: 1,
             gmem_pages: 33,
+            stall_no_resident: 40,
+            stall_scoreboard: 200,
+            stall_mem_pending: 150,
+            stall_exec_busy: 30,
+            stall_barrier: 20,
+            stall_ff_idle: 60,
+            cta_resident_cycles: 5000,
+            warp_resident_cycles: 20_000,
         };
         assert!((s.ipc() - 1.5).abs() < 1e-12);
         assert_eq!(s.resident_ctas(), 5);
         assert_eq!(s.resident_warps(), 20);
+        // 5000 CTA-cycles over 1000 cycles × 2 cores → 2.5 CTAs/core.
+        assert!((s.avg_resident_ctas() - 2.5).abs() < 1e-12);
+        assert!((s.avg_resident_warps() - 10.0).abs() < 1e-12);
         assert!((s.l1_hit_rate() - 0.8).abs() < 1e-12);
         assert!((s.l2_hit_rate() - 0.5).abs() < 1e-12);
         assert!((s.dram_row_hit_rate() - 0.75).abs() < 1e-12);

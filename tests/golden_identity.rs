@@ -224,6 +224,60 @@ fn sim_threads_exceeding_cores_is_bit_identical() {
 }
 
 #[test]
+fn stall_accounting_is_live_and_bit_identical() {
+    // The stall taxonomy and occupancy integrals are observation-only:
+    // every counter must be bit-identical across `--sim-threads` {1, 2, 4}
+    // × fast-forward on/off, must actually fire (a taxonomy that never
+    // attributes anything proves nothing), and must obey the conservation
+    // identity `Σ stall_* == idle_slots + stalled_slots` per core. The
+    // gather workload keeps loads in flight (MemPending) while the
+    // fmaheavy pairing exercises scoreboard pressure.
+    let reference = run_once(
+        &[&vecadd, &gather],
+        false,
+        WarpPolicy::Gto,
+        CtaPolicy::Baseline(None),
+        false,
+        1,
+    );
+    let bd = reference.0.stall_breakdown();
+    assert!(bd.core_cycles > 0, "cycle integrals never advanced");
+    assert_eq!(
+        bd.core_cycles,
+        reference.0.cycles * reference.0.cores.len() as u64,
+        "every core must observe every device cycle"
+    );
+    assert!(bd.mem_pending > 0, "gather never waited on memory?");
+    assert!(bd.scoreboard > 0, "no scoreboard stalls at all?");
+    assert!(bd.ff_idle > 0, "no quiet cycles in a whole run?");
+    assert!(bd.cta_resident_cycles > 0 && bd.warp_resident_cycles > 0);
+    for (i, c) in reference.0.cores.iter().enumerate() {
+        assert_eq!(
+            c.stall_total(),
+            c.idle_slots + c.stalled_slots,
+            "core {i}: stall taxonomy does not balance the slot counters"
+        );
+    }
+    gpgpu_repro::sim::assert_conservation(&reference.0);
+    for threads in [1, 2, 4] {
+        for fast in [false, true] {
+            let par = run_once(
+                &[&vecadd, &gather],
+                false,
+                WarpPolicy::Gto,
+                CtaPolicy::Baseline(None),
+                fast,
+                threads,
+            );
+            assert_eq!(
+                par.0.cores, reference.0.cores,
+                "threads={threads} fast={fast}: stall/occupancy counters diverge"
+            );
+        }
+    }
+}
+
+#[test]
 fn serial_pair_is_bit_identical() {
     // launch_after: the second kernel activates on the first one's
     // completion cycle, which the fast-forward gating must not disturb.

@@ -27,7 +27,7 @@ use gpgpu_bench::cli::{
 use gpgpu_bench::experiments::{all_ids, collect_experiment, plan_experiment, trace_points};
 use gpgpu_bench::service::{Client, Event, RemoteClient, ServeConfig, Server, Source};
 use gpgpu_bench::simcheck::{check_case, fuzz_seeds, FuzzCase};
-use gpgpu_bench::{Harness, ResultStore, RunEngine, RunSpec};
+use gpgpu_bench::{Harness, ReplayMode, ResultStore, RunEngine, RunSpec};
 use gpgpu_sim::TelemetryConfig;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -77,11 +77,11 @@ fn main() -> ExitCode {
             if args.sweep_only {
                 run_perf_sweep_only(&h, &args, cli.common.json, cli.common.sim_threads)
             } else {
-                run_perf(&h, &args, cli.common.json, cli.common.sim_threads)
+                run_perf(&h, &args, &cli.common, store)
             }
         }
         Command::Fuzz(args) => run_fuzz(&h, &args),
-        Command::Serve(args) => run_serve(&h, args, store),
+        Command::Serve(args) => run_serve(&h, &cli.common, args, store),
         Command::Submit(args) => run_submit(&h, &cli.common, args),
         Command::Report(args) => run_report(&cli.common, &args),
     }
@@ -210,6 +210,7 @@ fn run_experiments(
     if let Some(store) = store {
         engine.attach_store(store);
     }
+    engine.set_replay_mode(common.replay);
     let mut specs = Vec::new();
     for id in &ids {
         specs.extend(plan_experiment(id, h));
@@ -289,7 +290,12 @@ fn write_traces(
 }
 
 /// The `serve` path: bind, announce, accept until shut down.
-fn run_serve(h: &Harness, args: ServeArgs, store: Option<Arc<ResultStore>>) -> ExitCode {
+fn run_serve(
+    h: &Harness,
+    common: &CommonArgs,
+    args: ServeArgs,
+    store: Option<Arc<ResultStore>>,
+) -> ExitCode {
     let cfg = ServeConfig {
         addr: args.addr,
         jobs: h.jobs,
@@ -297,6 +303,7 @@ fn run_serve(h: &Harness, args: ServeArgs, store: Option<Arc<ResultStore>>) -> E
         progress_every: args.progress_every,
         store,
         stats_log_every: args.stats_log_every,
+        replay: common.replay,
     };
     let server = match Server::bind(cfg) {
         Ok(s) => s,
@@ -366,16 +373,17 @@ fn run_submit(h: &Harness, common: &CommonArgs, args: SubmitArgs) -> ExitCode {
                 return ExitCode::from(EXIT_RUNTIME);
             }
         };
-        let (mut simulated, mut cached, mut coalesced) = (0usize, 0usize, 0usize);
+        let (mut simulated, mut cached, mut coalesced, mut replayed) = (0usize, 0usize, 0usize, 0usize);
         for item in &items {
             match item.source {
                 Source::Simulated => simulated += 1,
                 Source::Cached => cached += 1,
                 Source::Coalesced => coalesced += 1,
+                Source::Replayed => replayed += 1,
             }
         }
         println!(
-            "[submit: {} results in {:.1?} ({simulated} simulated, {cached} cached, {coalesced} coalesced)]",
+            "[submit: {} results in {:.1?} ({simulated} simulated, {cached} cached, {coalesced} coalesced, {replayed} replayed)]",
             items.len(),
             t0.elapsed()
         );
@@ -426,9 +434,20 @@ fn run_submit(h: &Harness, common: &CommonArgs, args: SubmitArgs) -> ExitCode {
 /// *wall-clock aggregate* rate (total cycles over batch elapsed time)
 /// additionally scales with `--jobs` batch parallelism.
 ///
-/// Deliberately runs without the store: a warm store would satisfy runs
-/// without simulating and fake the throughput numbers.
-fn run_perf(h: &Harness, args: &PerfArgs, json: bool, sim_threads: usize) -> ExitCode {
+/// The gated reference batch always runs direct (replay off, no cached
+/// results): a warm store or a cheap replay would fake the throughput
+/// numbers. With `--replay auto|force`, the same batch then runs a
+/// second time on a fresh replay-mode engine — the store, when given,
+/// supplies execution records only — and the measured direct-vs-replay
+/// wall-clock speedup is recorded in the JSON report.
+fn run_perf(
+    h: &Harness,
+    args: &PerfArgs,
+    common: &CommonArgs,
+    store: Option<Arc<ResultStore>>,
+) -> ExitCode {
+    let json = common.json;
+    let sim_threads = common.sim_threads;
     let engine = h.engine();
     let mut specs = Vec::new();
     for id in all_ids() {
@@ -458,6 +477,42 @@ fn run_perf(h: &Harness, args: &PerfArgs, json: bool, sim_threads: usize) -> Exi
             eprintln!("{e}");
             return ExitCode::from(EXIT_RUNTIME);
         }
+    };
+
+    // With --replay, run the identical batch again on a fresh engine in
+    // replay mode (cold memo; the store, when given, supplies execution
+    // records only) and measure the wall-clock improvement. Replay is
+    // bit-identical to direct execution, so the cycle totals must agree.
+    let replay_cmp = if common.replay != ReplayMode::Off {
+        let mut replay_engine = h.engine();
+        replay_engine.set_use_cached_results(false);
+        if let Some(store) = store {
+            replay_engine.attach_store(store);
+        }
+        replay_engine.set_replay_mode(common.replay);
+        let t0 = std::time::Instant::now();
+        replay_engine.execute_batch(&specs);
+        let replay_elapsed = t0.elapsed();
+        let rs = replay_engine.summary();
+        if (rs.sim_cycles, rs.sim_instructions) != (summary.sim_cycles, summary.sim_instructions) {
+            eprintln!(
+                "error: replay batch diverged from direct execution ({} cycles / {} instructions vs {} / {})",
+                rs.sim_cycles, rs.sim_instructions, summary.sim_cycles, summary.sim_instructions
+            );
+            return ExitCode::from(EXIT_RUNTIME);
+        }
+        let speedup = elapsed.as_secs_f64() / replay_elapsed.as_secs_f64().max(1e-9);
+        println!(
+            "[perf replay ({}): {} executed + {} replayed in {:.1}s vs {:.1}s direct ({speedup:.2}x)]",
+            common.replay,
+            rs.executed,
+            rs.replayed,
+            replay_elapsed.as_secs_f64(),
+            elapsed.as_secs_f64()
+        );
+        Some((replay_elapsed, rs, speedup))
+    } else {
+        None
     };
 
     // The engine summary is already flat JSON; prepend the batch-level
@@ -519,6 +574,19 @@ fn run_perf(h: &Harness, args: &PerfArgs, json: bool, sim_threads: usize) -> Exi
             ",\"avg_resident_ctas\":{:.4},\"avg_resident_warps\":{:.4}}}}}",
             bd.avg_resident_ctas(),
             bd.avg_resident_warps()
+        ));
+    }
+    // Measured record/replay comparison (observation-only; the gate
+    // below still scans the direct batch's cycles_per_second).
+    if let Some((replay_elapsed, rs, speedup)) = &replay_cmp {
+        payload.pop(); // trailing '}'
+        payload.push_str(&format!(
+            ",\"replay\":{{\"mode\":\"{}\",\"direct_elapsed_nanos\":{},\"replay_elapsed_nanos\":{},\"speedup\":{speedup:.3},\"executed\":{},\"replayed\":{}}}}}",
+            common.replay,
+            elapsed.as_nanos(),
+            replay_elapsed.as_nanos(),
+            rs.executed,
+            rs.replayed
         ));
     }
     if let Err(e) = std::fs::write(&args.bench_out, format!("{payload}\n")) {
@@ -783,6 +851,7 @@ fn run_trace_smoke(
     if let Some(store) = store {
         engine.attach_store(store);
     }
+    engine.set_replay_mode(common.replay);
     let traces = trace_points("e5", h, TelemetryConfig::new(args.sample_every));
     let specs: Vec<RunSpec> = traces.iter().map(|(_, s)| s.clone()).collect();
     engine.execute_batch(&specs);

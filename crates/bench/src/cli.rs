@@ -16,6 +16,7 @@
 //! | 2    | usage error (unknown flag, malformed value) |
 
 use crate::codec::scale_from_str;
+use crate::engine::ReplayMode;
 use gpgpu_workloads::Scale;
 use std::path::PathBuf;
 
@@ -43,6 +44,10 @@ pub struct CommonArgs {
     pub fast_forward: bool,
     /// Persistent result store to consult/populate (`--store`).
     pub store_dir: Option<PathBuf>,
+    /// Record/replay mode (`--replay auto|off|force`): capture one
+    /// functional execution per policy-independent group and re-time the
+    /// rest from the record.
+    pub replay: ReplayMode,
 }
 
 impl Default for CommonArgs {
@@ -55,6 +60,7 @@ impl Default for CommonArgs {
             json: false,
             fast_forward: true,
             store_dir: None,
+            replay: ReplayMode::Off,
         }
     }
 }
@@ -250,8 +256,14 @@ common options
   --out-dir PATH    directory CSVs are written to (default: results/)
   --store PATH      persistent content-addressed result store: results
                     found there are never re-simulated, new results are
-                    saved there (run/serve/submit; perf ignores it so
-                    throughput numbers stay honest)
+                    saved there (run/serve/submit; perf accepts it only
+                    with --replay, and then reads execution records only,
+                    so throughput numbers stay honest)
+  --replay MODE     record/replay: capture one functional execution per
+                    policy-independent group, re-time other CTA policies
+                    from the record (bit-identical results). Modes:
+                    off (default), auto (capture when a batch amortizes
+                    it), force (always capture)
   --no-fast-forward run the reference cycle-by-cycle loop (results are
                     bit-identical either way; this is the slow path)
   --json            also print the run summary as one JSON object
@@ -290,8 +302,10 @@ usage: exp perf [options]
 
 simulator throughput benchmark: run the full E1..E10 batch, report
 per-simulation and wall-clock-aggregate cycles/sec, sweep one simulation
-across sim-thread counts, write BENCH_sim.json. Ignores --store (a warm
-store would fake the throughput numbers).
+across sim-thread counts, write BENCH_sim.json. Refuses --store unless
+--replay auto|force is given (a warm store would fake the throughput
+numbers); with replay, the store supplies execution records only —
+cached results are still never served.
 
   --bench-out PATH  where the JSON report goes (default BENCH_sim.json)
   --baseline PATH   compare against a previous report; exit 1 on a >25%
@@ -337,7 +351,9 @@ a client sends shutdown (exp submit --shutdown).
                      lines (default 60; 0 disables); the same snapshot
                      is served on demand by the `stats` wire request
 
-Common options (exp --help) apply; --store gives the server persistence.";
+Common options (exp --help) apply; --store gives the server persistence
+and --replay auto|force lets the shared engine serve policy variants by
+re-timing a captured execution record (reported as source=replayed).";
 
 const REPORT_HELP: &str = "\
 usage: exp report (--store PATH | --trace-dir PATH) [--json]
@@ -445,6 +461,12 @@ impl Cli {
                 }
                 "--store" => {
                     common.store_dir = Some(it.next().ok_or("--store needs a path")?.into());
+                }
+                "--replay" => {
+                    let v = it.next().ok_or("--replay needs a mode: auto, off, or force")?;
+                    common.replay = v
+                        .parse()
+                        .map_err(|_| format!("--replay must be auto, off, or force, got {v:?}"))?;
                 }
                 "--json" => common.json = true,
                 "--no-fast-forward" => common.fast_forward = false,
@@ -573,6 +595,14 @@ impl Cli {
                         return Err("--sweep-only with --thread-sweep none would do nothing".into());
                     }
                 }
+                if common.store_dir.is_some() && common.replay == ReplayMode::Off {
+                    return Err(
+                        "perf refuses --store without --replay auto|force: serving cached \
+                         results would fake the throughput numbers (replay modes use the \
+                         store for execution records only, never cached results)"
+                            .into(),
+                    );
+                }
                 Command::Perf(perf)
             }
             "fuzz" => Command::Fuzz(fuzz),
@@ -700,6 +730,29 @@ mod tests {
             Parsed::Exit(text) => assert!(text.contains("--trace-dir")),
             other => panic!("expected help, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn replay_flag_parses_on_run_trace_and_perf() {
+        assert_eq!(cli(&["--all"]).common.replay, ReplayMode::Off);
+        assert_eq!(cli(&["--all", "--replay", "auto"]).common.replay, ReplayMode::Auto);
+        assert_eq!(cli(&["trace", "--replay", "force"]).common.replay, ReplayMode::Force);
+        assert_eq!(cli(&["perf", "--replay", "auto"]).common.replay, ReplayMode::Auto);
+        assert!(parse(&["--all", "--replay"]).is_err());
+        assert!(parse(&["--all", "--replay", "sometimes"]).is_err());
+    }
+
+    #[test]
+    fn perf_store_needs_replay() {
+        // Plain cache hits would fake throughput numbers: usage error.
+        let err = parse(&["perf", "--store", "cache"]).unwrap_err();
+        assert!(err.contains("--replay"), "{err}");
+        // With a replay mode, the store is legitimate (records only).
+        let c = cli(&["perf", "--store", "cache", "--replay", "auto"]);
+        assert_eq!(c.common.store_dir.as_deref(), Some(std::path::Path::new("cache")));
+        assert_eq!(c.common.replay, ReplayMode::Auto);
+        assert!(parse(&["perf", "--store", "cache", "--replay", "force"]).is_ok());
+        assert!(parse(&["perf", "--store", "cache", "--replay", "off"]).is_err());
     }
 
     #[test]

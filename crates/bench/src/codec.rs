@@ -33,8 +33,11 @@ use tbs_core::{CtaPolicy, WarpPolicy};
 ///
 /// History: 1.1 added the per-core stall taxonomy and occupancy-integral
 /// counters (decoded as 0 when absent, so 1.0 store entries stay
-/// readable).
-pub const SCHEMA_VERSION: &str = "1.1";
+/// readable). 1.2 added execution-record sibling files in the store
+/// (`<addr>.record.bin`, keyed by [`content_key_prefix`]) — a pure
+/// addition: entries without a record sibling stay readable, and old
+/// readers never look for one.
+pub const SCHEMA_VERSION: &str = "1.2";
 
 /// The major component of [`SCHEMA_VERSION`] (what compatibility is
 /// judged on).
@@ -125,6 +128,27 @@ pub fn content_key(spec: &RunSpec) -> String {
         spec.max_cycles,
         gpu_to_json(&spec.gpu).render()
     )
+}
+
+/// The CTA-policy-independent prefix of [`content_key`]: the same key
+/// with the `cta=..` segment removed and nothing else changed.
+///
+/// This is the identity of an *execution record* (see
+/// `gpgpu_sim::record`): per-warp control flow, generated addresses, and
+/// final memory contents depend on the workload, scale, warp policy,
+/// cycle budget, and GPU config — but not on which CTA scheduler placed
+/// the blocks. All specs that share a prefix can therefore replay one
+/// capture. Derived from [`content_key`]'s output (not rebuilt from the
+/// spec) so the two can never drift apart, and pinned by
+/// `golden_content_key_prefix_is_stable`.
+pub fn content_key_prefix(spec: &RunSpec) -> String {
+    let key = content_key(spec);
+    let start = key.find("|cta=").expect("content_key always has a cta segment");
+    let end = key[start + 1..]
+        .find('|')
+        .map(|i| start + 1 + i)
+        .expect("cta is never the last segment");
+    format!("{}{}", &key[..start], &key[end..])
 }
 
 // ---------------------------------------------------------------------------
@@ -666,6 +690,9 @@ pub fn result_from_json(v: &Json) -> Result<RunResult, CodecError> {
         kernels,
         lcs_limits,
         telemetry: None,
+        // Provenance is process-local, never serialized: a decoded result
+        // was produced by *some* simulation, not by this process's replay.
+        via_replay: false,
     })
 }
 
@@ -782,6 +809,72 @@ mod tests {
             \"deadlock_cycles\":500000}";
         assert_eq!(content_key(&spec), expected);
         assert_eq!(spec.key().as_str(), expected, "RunSpec::key delegates here");
+    }
+
+    /// Pins the replay-group key: the prefix is the content key minus
+    /// exactly the `cta=` segment. Same invalidation warning as
+    /// `golden_content_key_is_stable` — stored records are keyed by this.
+    #[test]
+    fn golden_content_key_prefix_is_stable() {
+        let spec = sample_spec();
+        let key = content_key(&spec);
+        let prefix = content_key_prefix(&spec);
+        assert!(prefix.starts_with("single:vecadd|scale=tiny|warp=gto|max_cycles=400000000|gpu="));
+        assert_eq!(prefix, key.replace("|cta=baseline", ""));
+    }
+
+    #[test]
+    fn content_key_prefix_is_cta_policy_independent() {
+        let h = Harness::quick();
+        let policies = CtaPolicy::sweep_named();
+        assert_eq!(policies.len(), 13, "sweep changed: revisit the prefix contract");
+        let keys: Vec<String> = policies
+            .iter()
+            .map(|(_, cta)| {
+                content_key_prefix(&RunSpec::single(&h, "vecadd", WarpPolicy::Gto, cta.clone()))
+            })
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(k, &keys[0], "policy {} must share the group prefix", policies[i].0);
+        }
+        // Full keys must still be distinct — replay re-times, it does not
+        // deduplicate.
+        let mut full: Vec<String> = policies
+            .iter()
+            .map(|(_, cta)| {
+                content_key(&RunSpec::single(&h, "vecadd", WarpPolicy::Gto, cta.clone()))
+            })
+            .collect();
+        full.sort_unstable();
+        full.dedup();
+        assert_eq!(full.len(), policies.len());
+    }
+
+    #[test]
+    fn content_key_prefix_distinguishes_everything_else() {
+        let h = Harness::quick();
+        let base = RunSpec::single(&h, "vecadd", WarpPolicy::Gto, CtaPolicy::Baseline(None));
+        let mut other_scale = base.clone();
+        other_scale.scale = Scale::Small;
+        let mut other_cycles = base.clone();
+        other_cycles.max_cycles += 1;
+        let mut other_gpu = base.clone();
+        other_gpu.gpu.num_cores += 1;
+        let variants = [
+            RunSpec::single(&h, "saxpy", WarpPolicy::Gto, CtaPolicy::Baseline(None)),
+            RunSpec::single(&h, "vecadd", WarpPolicy::TwoLevel(8), CtaPolicy::Baseline(None)),
+            RunSpec::pair(&h, "vecadd", "saxpy", WarpPolicy::Gto, CtaPolicy::Baseline(None), false),
+            other_scale,
+            other_cycles,
+            other_gpu,
+        ];
+        for v in &variants {
+            assert_ne!(
+                content_key_prefix(&base),
+                content_key_prefix(v),
+                "prefix must separate {v:?}"
+            );
+        }
     }
 
     #[test]

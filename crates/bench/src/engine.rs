@@ -25,13 +25,11 @@
 //! stays trivial.
 
 use crate::{parallel_map, Harness};
-use gpgpu_sim::{GpuConfig, KernelId, SimStats, TelemetryConfig, TelemetryData};
-use gpgpu_workloads::{
-    by_name, run_pair, run_pair_traced, run_workload_traced, run_workload_with_device, RunOutcome,
-    Scale,
-};
+use gpgpu_sim::{ExecRecord, GpuConfig, KernelId, SimStats, TelemetryConfig, TelemetryData};
+use gpgpu_workloads::{by_name, run_pair_mode, run_workload_mode, RunMode, RunOutcome, Scale};
 use std::collections::HashMap;
 use std::fmt;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -166,6 +164,48 @@ impl RunKey {
     }
 }
 
+/// When the engine may substitute timing replay (`gpgpu_sim::record`)
+/// for direct execution. Replay is bit-identical to direct execution
+/// (enforced by the golden replay suite and the simcheck oracle), so the
+/// mode only changes wall-clock cost, never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplayMode {
+    /// Never capture or replay (the status quo).
+    #[default]
+    Off,
+    /// Replay whenever an execution record is available (in memory or in
+    /// the attached store); capture one when a batch group has several
+    /// specs sharing a record and none exists yet.
+    Auto,
+    /// As [`ReplayMode::Auto`], but capture a record for *every* group
+    /// that lacks one — even a lone run — so later runs (and other
+    /// processes sharing the store) can always replay.
+    Force,
+}
+
+impl fmt::Display for ReplayMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ReplayMode::Off => "off",
+            ReplayMode::Auto => "auto",
+            ReplayMode::Force => "force",
+        })
+    }
+}
+
+impl FromStr for ReplayMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(ReplayMode::Off),
+            "auto" => Ok(ReplayMode::Auto),
+            "force" => Ok(ReplayMode::Force),
+            other => Err(format!("unknown replay mode {other:?} (expected auto|off|force)")),
+        }
+    }
+}
+
 /// The memoized result of one executed spec.
 #[derive(Debug, Clone)]
 pub struct RunResult {
@@ -179,6 +219,11 @@ pub struct RunResult {
     /// Telemetry collected during the run, when the executed spec
     /// requested it.
     pub telemetry: Option<TelemetryData>,
+    /// Whether this result came from timing replay rather than direct
+    /// execution. Pure provenance — replayed results are bit-identical —
+    /// so it is *not* serialized (the store and the wire never carry it);
+    /// `exp serve` uses it to classify a run's source in its stats.
+    pub via_replay: bool,
 }
 
 impl RunResult {
@@ -219,8 +264,17 @@ pub struct RunEngine {
     executed: AtomicUsize,
     deduped: AtomicUsize,
     store_hits: AtomicUsize,
+    replayed: AtomicUsize,
     store: Option<Arc<crate::store::ResultStore>>,
     progress: Option<ProgressHook>,
+    replay: ReplayMode,
+    /// In-memory execution records, keyed by the CTA-policy-independent
+    /// content-key prefix (the replay-group key).
+    records: Mutex<HashMap<String, Arc<ExecRecord>>>,
+    /// When false (the `exp perf` setting), the store never *serves*
+    /// results — only execution records — so every measured run actually
+    /// simulates. Results are still saved.
+    use_cached_results: bool,
 }
 
 /// An observer of in-flight simulations: called from the worker thread
@@ -271,6 +325,9 @@ pub struct EngineSummary {
     pub deduped: usize,
     /// Requested runs satisfied from the persistent result store.
     pub store_hits: usize,
+    /// Requested runs satisfied by timing replay of a captured execution
+    /// record (bit-identical to simulating, but much cheaper).
+    pub replayed: usize,
     /// Worker-thread count.
     pub jobs: usize,
     /// Per-simulation core-stepping thread count (the process-wide
@@ -286,9 +343,10 @@ pub struct EngineSummary {
 }
 
 impl EngineSummary {
-    /// Total runs requested (executed + deduplicated + store hits).
+    /// Total runs requested (executed + deduplicated + store hits +
+    /// replayed).
     pub fn requested(&self) -> usize {
-        self.executed + self.deduped + self.store_hits
+        self.executed + self.deduped + self.store_hits + self.replayed
     }
 
     /// *Per-simulation* throughput in device cycles per second of worker
@@ -324,11 +382,12 @@ impl EngineSummary {
     /// downstream consumers can gate on compatibility.
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"schema_version\":\"{}\",\"executed\":{},\"deduped\":{},\"store_hits\":{},\"requested\":{},\"jobs\":{},\"sim_threads\":{},\"wall_nanos\":{},\"sim_cycles\":{},\"sim_instructions\":{},\"cycles_per_second\":{:.1}}}",
+            "{{\"schema_version\":\"{}\",\"executed\":{},\"deduped\":{},\"store_hits\":{},\"replayed\":{},\"requested\":{},\"jobs\":{},\"sim_threads\":{},\"wall_nanos\":{},\"sim_cycles\":{},\"sim_instructions\":{},\"cycles_per_second\":{:.1}}}",
             crate::codec::SCHEMA_VERSION,
             self.executed,
             self.deduped,
             self.store_hits,
+            self.replayed,
             self.requested(),
             self.jobs,
             self.sim_threads,
@@ -344,11 +403,12 @@ impl fmt::Display for EngineSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "[{} runs requested: {} simulated, {} deduplicated, {} from store; {} worker threads x {} sim threads; {} Mcycles in {:.1}s worker time ({:.1} Mcycles/s per simulation)]",
+            "[{} runs requested: {} simulated, {} deduplicated, {} from store, {} replayed; {} worker threads x {} sim threads; {} Mcycles in {:.1}s worker time ({:.1} Mcycles/s per simulation)]",
             self.requested(),
             self.executed,
             self.deduped,
             self.store_hits,
+            self.replayed,
             self.jobs,
             self.sim_threads,
             self.sim_cycles / 1_000_000,
@@ -368,9 +428,34 @@ impl RunEngine {
             executed: AtomicUsize::new(0),
             deduped: AtomicUsize::new(0),
             store_hits: AtomicUsize::new(0),
+            replayed: AtomicUsize::new(0),
             store: None,
             progress: None,
+            replay: ReplayMode::default(),
+            records: Mutex::new(HashMap::new()),
+            use_cached_results: true,
         }
+    }
+
+    /// Sets when the engine may substitute timing replay for direct
+    /// execution (default [`ReplayMode::Off`]). Results are bit-identical
+    /// in every mode; only wall-clock cost changes.
+    pub fn set_replay_mode(&mut self, mode: ReplayMode) {
+        self.replay = mode;
+    }
+
+    /// The engine's current replay mode.
+    pub fn replay_mode(&self) -> ReplayMode {
+        self.replay
+    }
+
+    /// When disabled, the attached store never *serves* results — every
+    /// requested run actually simulates (directly or via replay) — while
+    /// executed results and captured records are still persisted. This is
+    /// `exp perf`'s setting: a perf measurement served from cache would
+    /// measure nothing.
+    pub fn set_use_cached_results(&mut self, on: bool) {
+        self.use_cached_results = on;
     }
 
     /// Attaches a persistent [`ResultStore`](crate::store::ResultStore):
@@ -410,6 +495,9 @@ impl RunEngine {
     /// Consults the attached store for `spec` (memo-miss path). On a hit
     /// the result is memoized and counted.
     fn load_from_store(&self, key: &RunKey, spec: &RunSpec) -> Option<Arc<RunResult>> {
+        if !self.use_cached_results {
+            return None; // perf mode: measured runs must simulate
+        }
         if spec.telemetry.is_some() {
             return None; // stored entries cannot satisfy a telemetry request
         }
@@ -435,11 +523,43 @@ impl RunEngine {
         }
     }
 
+    /// The execution record covering `spec`'s replay group (keyed by
+    /// `prefix`), from the in-memory cache or the attached store.
+    fn lookup_record(&self, prefix: &str, spec: &RunSpec) -> Option<Arc<ExecRecord>> {
+        if let Some(r) = self.records.lock().expect("not poisoned").get(prefix) {
+            return Some(Arc::clone(r));
+        }
+        let rec = Arc::new(self.store.as_ref()?.load_record(spec)?);
+        let mut cache = self.records.lock().expect("not poisoned");
+        Some(Arc::clone(cache.entry(prefix.to_string()).or_insert(rec)))
+    }
+
+    /// Caches a freshly captured record in memory and persists it to the
+    /// attached store (best-effort, like result saves).
+    fn adopt_record(&self, prefix: String, spec: &RunSpec, record: ExecRecord) -> Arc<ExecRecord> {
+        if let Some(store) = &self.store {
+            if let Err(e) = store.save_record(spec, &record) {
+                eprintln!(
+                    "warning: could not persist execution record to store {}: {e}",
+                    store.root().display()
+                );
+            }
+        }
+        let rec = Arc::new(record);
+        let mut cache = self.records.lock().expect("not poisoned");
+        Arc::clone(cache.entry(prefix).or_insert(rec))
+    }
+
     /// Runs `spec` with this engine's progress hook (if any) installed on
     /// the current thread for the duration.
-    fn execute_observed(&self, key: &RunKey, spec: &RunSpec) -> RunResult {
+    fn execute_observed(
+        &self,
+        key: &RunKey,
+        spec: &RunSpec,
+        mode: RunMode,
+    ) -> (RunResult, Option<ExecRecord>) {
         match &self.progress {
-            None => execute_spec(spec),
+            None => execute_spec_mode(spec, mode),
             Some(hook) => {
                 let key = key.clone();
                 let cb = Arc::clone(&hook.callback);
@@ -447,7 +567,7 @@ impl RunEngine {
                     hook.every_cycles,
                     Arc::new(move |cycle, instructions| cb(&key, cycle, instructions)),
                 );
-                let result = execute_spec(spec);
+                let result = execute_spec_mode(spec, mode);
                 gpgpu_sim::clear_thread_progress();
                 result
             }
@@ -489,27 +609,121 @@ impl RunEngine {
         }
         // Persistent-store pass: anything already on disk skips the
         // worker pool entirely. (Telemetry-requesting specs always
-        // simulate — see `attach_store`.)
+        // simulate — see `attach_store`; perf mode never serves results.)
         if self.store.is_some() {
             fresh.retain(|(key, spec)| self.load_from_store(key, spec).is_none());
         }
-        let jobs: Vec<_> = fresh
+
+        // Replay planning: specs sharing a CTA-policy-independent key
+        // prefix form a group, and one execution record re-times all of
+        // them. A group with a record on hand replays immediately; a
+        // group without one elects its first spec as the capture run and
+        // the rest replay from its record in a second wave. `Auto` skips
+        // capturing for a lone spec (nothing in-batch to amortize it);
+        // `Force` captures anyway so the record exists for later.
+        let mut modes: Vec<Option<RunMode>> = fresh.iter().map(|_| Some(RunMode::Direct)).collect();
+        let mut awaiting: Vec<Option<String>> = vec![None; fresh.len()];
+        if self.replay != ReplayMode::Off {
+            let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+            for (i, (_, spec)) in fresh.iter().enumerate() {
+                groups
+                    .entry(crate::codec::content_key_prefix(spec))
+                    .or_default()
+                    .push(i);
+            }
+            for (prefix, members) in groups {
+                if let Some(rec) = self.lookup_record(&prefix, &fresh[members[0]].1) {
+                    for &i in &members {
+                        modes[i] = Some(RunMode::Replay(Arc::clone(&rec)));
+                    }
+                } else if members.len() > 1 || self.replay == ReplayMode::Force {
+                    modes[members[0]] = Some(RunMode::Capture);
+                    for &i in &members[1..] {
+                        modes[i] = None;
+                        awaiting[i] = Some(prefix.clone());
+                    }
+                }
+            }
+        }
+
+        // Wave 1: everything not waiting on a capture — direct runs,
+        // captures, and replays whose record already exists.
+        let mut outcomes: Vec<Option<(RunResult, u64, bool)>> = (0..fresh.len()).map(|_| None).collect();
+        let wave1: Vec<(usize, RunMode)> = modes
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, m)| m.take().map(|mode| (i, mode)))
+            .collect();
+        let jobs: Vec<_> = wave1
             .iter()
-            .map(|(key, spec)| {
+            .map(|(i, mode)| {
+                let (key, spec) = &fresh[*i];
+                let mode = mode.clone();
                 move || {
+                    let via_replay = matches!(mode, RunMode::Replay(_));
                     let t0 = Instant::now();
-                    let result = self.execute_observed(key, spec);
+                    let (result, record) = self.execute_observed(key, spec, mode);
                     let wall_nanos = t0.elapsed().as_nanos() as u64;
                     self.save_to_store(spec, &result, wall_nanos);
-                    (result, wall_nanos)
+                    (result, record, wall_nanos, via_replay)
                 }
             })
             .collect();
-        let results = parallel_map(jobs, self.jobs);
-        self.executed.fetch_add(fresh.len(), Ordering::Relaxed);
+        for ((i, _), (result, record, wall_nanos, via_replay)) in
+            wave1.into_iter().zip(parallel_map(jobs, self.jobs))
+        {
+            if let Some(rec) = record {
+                let prefix = crate::codec::content_key_prefix(&fresh[i].1);
+                self.adopt_record(prefix, &fresh[i].1, rec);
+            }
+            outcomes[i] = Some((result, wall_nanos, via_replay));
+        }
+
+        // Wave 2: replays waiting on a wave-1 capture. A capture that
+        // produced no record (a degenerate zero-CTA run) falls back to
+        // direct execution.
+        let wave2: Vec<(usize, RunMode)> = awaiting
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, prefix)| {
+                let prefix = prefix?;
+                let mode = match self.lookup_record(&prefix, &fresh[i].1) {
+                    Some(rec) => RunMode::Replay(rec),
+                    None => RunMode::Direct,
+                };
+                Some((i, mode))
+            })
+            .collect();
+        let jobs: Vec<_> = wave2
+            .iter()
+            .map(|(i, mode)| {
+                let (key, spec) = &fresh[*i];
+                let mode = mode.clone();
+                move || {
+                    let via_replay = matches!(mode, RunMode::Replay(_));
+                    let t0 = Instant::now();
+                    let (result, _) = self.execute_observed(key, spec, mode);
+                    let wall_nanos = t0.elapsed().as_nanos() as u64;
+                    self.save_to_store(spec, &result, wall_nanos);
+                    (result, wall_nanos, via_replay)
+                }
+            })
+            .collect();
+        for ((i, _), (result, wall_nanos, via_replay)) in
+            wave2.into_iter().zip(parallel_map(jobs, self.jobs))
+        {
+            outcomes[i] = Some((result, wall_nanos, via_replay));
+        }
+
         let mut memo = self.memo.lock().expect("not poisoned");
         let mut profiles = self.profiles.lock().expect("not poisoned");
-        for ((key, _), (result, wall_nanos)) in fresh.into_iter().zip(results) {
+        for ((key, _), outcome) in fresh.into_iter().zip(outcomes) {
+            let (result, wall_nanos, via_replay) = outcome.expect("every fresh spec ran");
+            if via_replay {
+                self.replayed.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.executed.fetch_add(1, Ordering::Relaxed);
+            }
             profiles.push(RunProfile {
                 key: key.clone(),
                 wall_nanos,
@@ -537,11 +751,33 @@ impl RunEngine {
         if let Some(r) = self.load_from_store(&key, spec) {
             return r;
         }
+        // On-demand replay: use the group's record if one exists; under
+        // `Force`, capture one if it doesn't.
+        let mut mode = RunMode::Direct;
+        let mut prefix = None;
+        if self.replay != ReplayMode::Off {
+            let p = crate::codec::content_key_prefix(spec);
+            if let Some(rec) = self.lookup_record(&p, spec) {
+                mode = RunMode::Replay(rec);
+            } else if self.replay == ReplayMode::Force {
+                mode = RunMode::Capture;
+            }
+            prefix = Some(p);
+        }
+        let via_replay = matches!(mode, RunMode::Replay(_));
         let t0 = Instant::now();
-        let result = Arc::new(self.execute_observed(&key, spec));
+        let (result, record) = self.execute_observed(&key, spec, mode);
+        let result = Arc::new(result);
         let wall_nanos = t0.elapsed().as_nanos() as u64;
+        if let (Some(rec), Some(p)) = (record, prefix) {
+            self.adopt_record(p, spec, rec);
+        }
         self.save_to_store(spec, &result, wall_nanos);
-        self.executed.fetch_add(1, Ordering::Relaxed);
+        if via_replay {
+            self.replayed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.executed.fetch_add(1, Ordering::Relaxed);
+        }
         self.profiles.lock().expect("not poisoned").push(RunProfile {
             key: key.clone(),
             wall_nanos,
@@ -580,6 +816,12 @@ impl RunEngine {
         self.store_hits.load(Ordering::Relaxed)
     }
 
+    /// Number of requested runs satisfied by timing replay of a captured
+    /// execution record.
+    pub fn runs_replayed(&self) -> usize {
+        self.replayed.load(Ordering::Relaxed)
+    }
+
     /// Worker-thread count this engine fans out over.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -598,6 +840,7 @@ impl RunEngine {
             executed: self.runs_executed(),
             deduped: self.runs_deduped(),
             store_hits: self.runs_from_store(),
+            replayed: self.runs_replayed(),
             jobs: self.jobs,
             sim_threads: gpgpu_sim::sim_threads_default(),
             wall_nanos: profiles.iter().map(|p| p.wall_nanos).sum(),
@@ -745,6 +988,159 @@ mod tests {
     }
 
     #[test]
+    fn replay_auto_captures_once_per_group_and_matches_direct() {
+        let h = Harness::quick();
+        let sweep = [
+            CtaPolicy::Baseline(None),
+            CtaPolicy::Lcs(0.7),
+            CtaPolicy::Bcs(2),
+            CtaPolicy::MixedCke(0.7),
+        ];
+        let specs: Vec<RunSpec> = sweep
+            .iter()
+            .map(|cta| RunSpec::single(&h, "vecadd", WarpPolicy::Gto, cta.clone()))
+            .collect();
+
+        let direct = RunEngine::new(2);
+        direct.execute_batch(&specs);
+
+        let mut replaying = RunEngine::new(2);
+        replaying.set_replay_mode(ReplayMode::Auto);
+        replaying.execute_batch(&specs);
+        assert_eq!(replaying.runs_executed(), 1, "one capture per group");
+        assert_eq!(replaying.runs_replayed(), sweep.len() - 1);
+        for spec in &specs {
+            let d = direct.get(spec);
+            let r = replaying.get(spec);
+            assert_eq!(d.stats, r.stats, "replay diverged for {}", spec.cta);
+            assert_eq!(d.lcs_limits, r.lcs_limits);
+        }
+        // The capture's own result is direct; the rest are replays.
+        assert!(!replaying.get(&specs[0]).via_replay);
+        let summary = replaying.summary();
+        assert_eq!(summary.replayed, sweep.len() - 1);
+        assert_eq!(summary.requested(), sweep.len());
+        assert!(summary.to_json().contains(&format!("\"replayed\":{}", sweep.len() - 1)));
+    }
+
+    #[test]
+    fn replay_auto_leaves_lone_specs_direct_but_force_captures() {
+        let h = Harness::quick();
+        let mut auto = RunEngine::new(1);
+        auto.set_replay_mode(ReplayMode::Auto);
+        auto.execute_batch(&[spec(&h)]);
+        assert_eq!(auto.runs_executed(), 1);
+        assert_eq!(auto.runs_replayed(), 0);
+        // Auto captured nothing, so a later sibling spec has no record
+        // in memory... but a Force engine always captures.
+        let mut force = RunEngine::new(1);
+        force.set_replay_mode(ReplayMode::Force);
+        force.execute_batch(&[spec(&h)]);
+        assert_eq!(force.runs_executed(), 1);
+        // The lone run captured a record: a sibling policy now replays.
+        let sibling = RunSpec::single(&h, "vecadd", WarpPolicy::Gto, CtaPolicy::Lcs(0.7));
+        let r = force.get(&sibling);
+        assert!(r.via_replay, "get() must replay from the captured record");
+        assert_eq!(force.runs_replayed(), 1);
+        let d = RunEngine::new(1);
+        assert_eq!(d.get(&sibling).stats, r.stats);
+    }
+
+    #[test]
+    fn replay_records_persist_through_the_store() {
+        let h = Harness::quick();
+        let dir = std::env::temp_dir().join(format!("replay-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(crate::store::ResultStore::open(&dir).unwrap());
+
+        let mut first = RunEngine::new(1);
+        first.attach_store(Arc::clone(&store));
+        first.set_replay_mode(ReplayMode::Force);
+        first.execute_batch(&[spec(&h)]);
+        assert_eq!(first.runs_executed(), 1);
+
+        // A second engine sharing the store replays a *different* CTA
+        // policy from the persisted record without executing anything.
+        let sibling = RunSpec::single(&h, "vecadd", WarpPolicy::Gto, CtaPolicy::Bcs(2));
+        let mut second = RunEngine::new(1);
+        second.attach_store(Arc::clone(&store));
+        second.set_replay_mode(ReplayMode::Auto);
+        let r = second.get(&sibling);
+        assert!(r.via_replay);
+        assert_eq!(second.runs_executed(), 0);
+        assert_eq!(second.runs_replayed(), 1);
+        assert_eq!(RunEngine::new(1).get(&sibling).stats, r.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn perf_mode_refuses_cached_results_but_replays() {
+        let h = Harness::quick();
+        let dir = std::env::temp_dir().join(format!("perf-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(crate::store::ResultStore::open(&dir).unwrap());
+
+        // Warm the store with a result AND a record.
+        let mut warm = RunEngine::new(1);
+        warm.attach_store(Arc::clone(&store));
+        warm.set_replay_mode(ReplayMode::Force);
+        warm.execute_batch(&[spec(&h)]);
+
+        // Perf engine: cached results must NOT satisfy the run...
+        let mut perf = RunEngine::new(1);
+        perf.attach_store(Arc::clone(&store));
+        perf.set_use_cached_results(false);
+        perf.execute_batch(&[spec(&h)]);
+        assert_eq!(perf.runs_from_store(), 0, "perf must not serve results from cache");
+        assert_eq!(perf.runs_executed(), 1);
+
+        // ...but with replay on, the stored *record* may drive the run.
+        let mut perf_replay = RunEngine::new(1);
+        perf_replay.attach_store(Arc::clone(&store));
+        perf_replay.set_use_cached_results(false);
+        perf_replay.set_replay_mode(ReplayMode::Auto);
+        perf_replay.execute_batch(&[spec(&h)]);
+        assert_eq!(perf_replay.runs_from_store(), 0);
+        assert_eq!(perf_replay.runs_executed(), 0);
+        assert_eq!(perf_replay.runs_replayed(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replayed_runs_serve_telemetry_requests() {
+        let h = Harness::quick();
+        let mut engine = RunEngine::new(2);
+        engine.set_replay_mode(ReplayMode::Auto);
+        let traced = RunSpec::single(&h, "vecadd", WarpPolicy::Gto, CtaPolicy::Lcs(0.7))
+            .with_telemetry(TelemetryConfig::new(500));
+        engine.execute_batch(&[spec(&h), traced.clone()]);
+        assert_eq!(engine.runs_executed() + engine.runs_replayed(), 2);
+        assert_eq!(engine.runs_replayed(), 1);
+        let r = engine.get(&traced);
+        let data = r.telemetry.as_ref().expect("replay honors telemetry requests");
+        assert!(!data.samples.is_empty());
+        // Replayed telemetry is byte-identical to direct telemetry.
+        let d = RunEngine::new(1).get(&traced);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        data.write_events_jsonl(&mut a).unwrap();
+        d.telemetry.as_ref().unwrap().write_events_jsonl(&mut b).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn replay_mode_parses_and_displays() {
+        for (s, m) in [
+            ("auto", ReplayMode::Auto),
+            ("off", ReplayMode::Off),
+            ("force", ReplayMode::Force),
+        ] {
+            assert_eq!(s.parse::<ReplayMode>().unwrap(), m);
+            assert_eq!(m.to_string(), s);
+        }
+        assert!("sometimes".parse::<ReplayMode>().is_err());
+    }
+
+    #[test]
     fn key_separates_configs() {
         let h = Harness::quick();
         let base = spec(&h);
@@ -766,34 +1162,29 @@ mod tests {
     }
 }
 
-/// Runs one spec to completion and verifies it. The execution itself is
-/// exactly the pre-engine serial path (`run_workload` / `run_pair` on a
-/// fresh device), so results are bit-identical to ad-hoc call sites.
-fn execute_spec(spec: &RunSpec) -> RunResult {
+/// Runs one spec to completion under the given [`RunMode`] and (except
+/// for replay, which never evaluates semantics) verifies it. Direct
+/// execution is exactly the pre-engine serial path (`run_workload` /
+/// `run_pair` on a fresh device), so results are bit-identical to ad-hoc
+/// call sites; capture and replay are bit-identical to direct execution
+/// (the golden replay suite's contract). Returns the captured record when
+/// `mode` was [`RunMode::Capture`].
+fn execute_spec_mode(spec: &RunSpec, mode: RunMode) -> (RunResult, Option<ExecRecord>) {
+    let via_replay = matches!(mode, RunMode::Replay(_));
     match &spec.kind {
         RunKind::Single { workload } => {
             let mut w = by_name(workload, spec.scale)
                 .unwrap_or_else(|| panic!("unknown workload {workload:?}"));
             let factory = spec.warp.factory();
-            let (outcome, gpu, telemetry) = match spec.telemetry {
-                Some(cfg) => run_workload_traced(
-                    w.as_mut(),
-                    spec.gpu.clone(),
-                    factory.as_ref(),
-                    spec.cta.scheduler(),
-                    spec.max_cycles,
-                    cfg,
-                )
-                .map(|(o, g, t)| (o, g, Some(t))),
-                None => run_workload_with_device(
-                    w.as_mut(),
-                    spec.gpu.clone(),
-                    factory.as_ref(),
-                    spec.cta.scheduler(),
-                    spec.max_cycles,
-                )
-                .map(|(o, g)| (o, g, None)),
-            }
+            let (outcome, gpu, telemetry, record) = run_workload_mode(
+                w.as_mut(),
+                spec.gpu.clone(),
+                factory.as_ref(),
+                spec.cta.scheduler(),
+                spec.max_cycles,
+                spec.telemetry,
+                mode,
+            )
             .unwrap_or_else(|e| panic!("{workload} under {}/{}: {e}", spec.warp, spec.cta));
             // Capture LCS's decided limits so accuracy experiments can run
             // through the memo table too (sorted: the scheduler's map
@@ -807,47 +1198,43 @@ fn execute_spec(spec: &RunSpec) -> RunResult {
                     v.sort_unstable();
                     v
                 });
-            RunResult {
-                stats: outcome.stats,
-                kernels: vec![outcome.kernel],
-                lcs_limits,
-                telemetry,
-            }
+            (
+                RunResult {
+                    stats: outcome.stats,
+                    kernels: vec![outcome.kernel],
+                    lcs_limits,
+                    telemetry,
+                    via_replay,
+                },
+                record,
+            )
         }
         RunKind::Pair { a, b, serial } => {
             let mut wa = by_name(a, spec.scale).unwrap_or_else(|| panic!("unknown workload {a:?}"));
             let mut wb = by_name(b, spec.scale).unwrap_or_else(|| panic!("unknown workload {b:?}"));
             let factory = spec.warp.factory();
-            let (stats, ka, kb, telemetry) = match spec.telemetry {
-                Some(cfg) => run_pair_traced(
-                    wa.as_mut(),
-                    wb.as_mut(),
-                    spec.gpu.clone(),
-                    factory.as_ref(),
-                    spec.cta.scheduler(),
-                    *serial,
-                    spec.max_cycles,
-                    cfg,
-                )
-                .map(|(s, ka, kb, t)| (s, ka, kb, Some(t))),
-                None => run_pair(
-                    wa.as_mut(),
-                    wb.as_mut(),
-                    spec.gpu.clone(),
-                    factory.as_ref(),
-                    spec.cta.scheduler(),
-                    *serial,
-                    spec.max_cycles,
-                )
-                .map(|(s, ka, kb)| (s, ka, kb, None)),
-            }
+            let (stats, ka, kb, telemetry, record) = run_pair_mode(
+                wa.as_mut(),
+                wb.as_mut(),
+                spec.gpu.clone(),
+                factory.as_ref(),
+                spec.cta.scheduler(),
+                *serial,
+                spec.max_cycles,
+                spec.telemetry,
+                mode,
+            )
             .unwrap_or_else(|e| panic!("pair {a}+{b} under {}/{}: {e}", spec.warp, spec.cta));
-            RunResult {
-                stats,
-                kernels: vec![ka, kb],
-                lcs_limits: None,
-                telemetry,
-            }
+            (
+                RunResult {
+                    stats,
+                    kernels: vec![ka, kb],
+                    lcs_limits: None,
+                    telemetry,
+                    via_replay,
+                },
+                record,
+            )
         }
     }
 }

@@ -25,7 +25,7 @@ pub mod simcheck;
 pub mod store;
 pub mod table;
 
-pub use engine::{EngineSummary, RunEngine, RunKey, RunKind, RunProfile, RunResult, RunSpec};
+pub use engine::{EngineSummary, ReplayMode, RunEngine, RunKey, RunKind, RunProfile, RunResult, RunSpec};
 pub use service::ServerStats;
 pub use store::ResultStore;
 pub use table::Table;

@@ -74,6 +74,10 @@ pub enum Source {
     Cached,
     /// Coalesced onto an execution another request already started.
     Coalesced,
+    /// Re-timed from a captured execution record (`--replay`): a real
+    /// simulation of this request, driven by a record instead of
+    /// functional execution.
+    Replayed,
 }
 
 impl Source {
@@ -83,6 +87,7 @@ impl Source {
             Source::Simulated => "simulated",
             Source::Cached => "cached",
             Source::Coalesced => "coalesced",
+            Source::Replayed => "replayed",
         }
     }
 
@@ -92,6 +97,7 @@ impl Source {
             "simulated" => Ok(Source::Simulated),
             "cached" => Ok(Source::Cached),
             "coalesced" => Ok(Source::Coalesced),
+            "replayed" => Ok(Source::Replayed),
             other => Err(CodecError(format!("unknown source {other:?}"))),
         }
     }
@@ -124,6 +130,8 @@ pub struct ServerStats {
     pub runs_deduped: u64,
     /// Requests answered from the persistent store.
     pub store_hits: u64,
+    /// Specs the engine re-timed from a captured execution record.
+    pub runs_replayed: u64,
     /// Median simulated-job wall time in nanoseconds (0 until a job ran).
     pub p50_wall_nanos: u64,
     /// 99th-percentile simulated-job wall time in nanoseconds.
@@ -132,10 +140,12 @@ pub struct ServerStats {
 
 impl ServerStats {
     /// Fraction of answered requests that never hit the simulator
-    /// (memo + store hits over all requests answered so far).
+    /// (memo + store hits over all requests answered so far). Replayed
+    /// runs count as *non*-hits: replay drives a real simulation, it
+    /// just skips the functional half.
     pub fn hit_rate(&self) -> f64 {
         let hits = self.runs_deduped + self.store_hits;
-        let total = hits + self.runs_executed;
+        let total = hits + self.runs_executed + self.runs_replayed;
         if total == 0 {
             0.0
         } else {
@@ -149,7 +159,7 @@ impl ServerStats {
     pub fn log_line(&self) -> String {
         format!(
             "[serve: stats queue_depth={} in_flight={} workers_busy={}/{} jobs_done={} \
-             executed={} deduped={} store_hits={} hit_rate={:.2} p50_ms={:.2} p99_ms={:.2}]",
+             executed={} deduped={} store_hits={} replayed={} hit_rate={:.2} p50_ms={:.2} p99_ms={:.2}]",
             self.queue_depth,
             self.in_flight,
             self.workers_busy,
@@ -158,6 +168,7 @@ impl ServerStats {
             self.runs_executed,
             self.runs_deduped,
             self.store_hits,
+            self.runs_replayed,
             self.hit_rate(),
             self.p50_wall_nanos as f64 / 1e6,
             self.p99_wall_nanos as f64 / 1e6,
@@ -322,6 +333,7 @@ pub fn event_to_json(e: &Event) -> Json {
             .with("runs_executed", Json::UInt(s.runs_executed))
             .with("runs_deduped", Json::UInt(s.runs_deduped))
             .with("store_hits", Json::UInt(s.store_hits))
+            .with("runs_replayed", Json::UInt(s.runs_replayed))
             .with("p50_wall_nanos", Json::UInt(s.p50_wall_nanos))
             .with("p99_wall_nanos", Json::UInt(s.p99_wall_nanos)),
         Event::ShutdownAck => base.with("type", Json::Str("shutdown_ack".into())),
@@ -385,6 +397,9 @@ pub fn event_from_json(v: &Json) -> Result<Event, CodecError> {
             runs_executed: need_u64("runs_executed")?,
             runs_deduped: need_u64("runs_deduped")?,
             store_hits: need_u64("store_hits")?,
+            // Added in schema 1.2: absent from a same-major 1.1 writer
+            // means "no replays", not "unreadable".
+            runs_replayed: v.get("runs_replayed").and_then(Json::as_u64).unwrap_or(0),
             p50_wall_nanos: need_u64("p50_wall_nanos")?,
             p99_wall_nanos: need_u64("p99_wall_nanos")?,
         })),
@@ -474,6 +489,7 @@ mod tests {
             runs_executed: 10,
             runs_deduped: 25,
             store_hits: 5,
+            runs_replayed: 10,
             p50_wall_nanos: 41_000_000,
             p99_wall_nanos: 900_000_000,
         };
@@ -482,15 +498,57 @@ mod tests {
             Event::Stats(back) => assert_eq!(back, s),
             other => panic!("wrong variant: {other:?}"),
         }
-        assert!((s.hit_rate() - 0.75).abs() < 1e-12, "30 hits over 40 answers");
+        // Replayed runs hit the simulator, so they dilute the hit rate.
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12, "30 hits over 50 answers");
         let log = s.log_line();
         assert!(log.contains("queue_depth=3"), "{log}");
         assert!(log.contains("workers_busy=2/4"), "{log}");
+        assert!(log.contains("replayed=10"), "{log}");
         assert!(log.contains("p50_ms=41.00"), "{log}");
         // Must never collide with the batch-summary greps in CI
         // (' 0 cached,' / '(0 simulated,').
         assert!(!log.contains(" cached,"), "{log}");
         assert!(!log.contains(" simulated,"), "{log}");
+    }
+
+    #[test]
+    fn stats_without_replayed_field_decode_as_zero() {
+        // A 1.1-era writer never emits runs_replayed; same-major readers
+        // must treat that as zero rather than reject the event.
+        let s = ServerStats {
+            queue_depth: 0,
+            in_flight: 0,
+            workers_busy: 0,
+            workers: 1,
+            jobs_done: 2,
+            runs_executed: 2,
+            runs_deduped: 0,
+            store_hits: 0,
+            runs_replayed: 7,
+            p50_wall_nanos: 0,
+            p99_wall_nanos: 0,
+        };
+        let line = event_to_json(&Event::Stats(s)).render();
+        let stripped = line.replace(",\"runs_replayed\":7", "");
+        assert_ne!(stripped, line, "field must have been present to strip");
+        match event_from_json(&Json::parse(&stripped).unwrap()).unwrap() {
+            Event::Stats(back) => assert_eq!(back.runs_replayed, 0),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replayed_source_round_trips() {
+        assert_eq!(Source::Replayed.as_str(), "replayed");
+        assert_eq!(Source::from_str("replayed").unwrap(), Source::Replayed);
+        for s in [
+            Source::Simulated,
+            Source::Cached,
+            Source::Coalesced,
+            Source::Replayed,
+        ] {
+            assert_eq!(Source::from_str(s.as_str()).unwrap(), s);
+        }
     }
 
     #[test]

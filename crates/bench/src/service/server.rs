@@ -2,7 +2,7 @@
 //! [`RunEngine`], in-flight coalescing, NDJSON event streaming.
 
 use super::{event_to_json, request_from_json, Event, Request, ServerStats, ServiceError, Source};
-use crate::engine::{ProgressHook, RunEngine, RunSpec};
+use crate::engine::{ProgressHook, ReplayMode, RunEngine, RunSpec};
 use crate::json::Json;
 use crate::store::ResultStore;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -29,6 +29,10 @@ pub struct ServeConfig {
     /// Seconds between periodic `[serve: stats ...]` log lines
     /// (0 disables; tests default to quiet).
     pub stats_log_every: u64,
+    /// Record/replay mode for the shared engine (see
+    /// [`RunEngine::set_replay_mode`]). Replayed runs report
+    /// [`Source::Replayed`](super::Source::Replayed) to clients.
+    pub replay: ReplayMode,
 }
 
 impl Default for ServeConfig {
@@ -40,6 +44,7 @@ impl Default for ServeConfig {
             progress_every: 1_000_000,
             store: None,
             stats_log_every: 0,
+            replay: ReplayMode::Off,
         }
     }
 }
@@ -191,6 +196,7 @@ impl Inner {
             runs_deduped: self.engine.runs_deduped() as u64
                 + self.memo_hits.load(Ordering::Relaxed),
             store_hits: self.engine.runs_from_store() as u64,
+            runs_replayed: self.engine.runs_replayed() as u64,
             p50_wall_nanos: percentile(&walls, 50),
             p99_wall_nanos: percentile(&walls, 99),
         }
@@ -229,6 +235,7 @@ impl Server {
         if let Some(store) = cfg.store {
             engine.attach_store(store);
         }
+        engine.set_replay_mode(cfg.replay);
         if cfg.progress_every > 0 {
             let subs = Arc::clone(&subs);
             engine.set_progress(ProgressHook {
@@ -493,10 +500,16 @@ fn handle_submit(
                             .map(|p| p.wall_nanos)
                             .unwrap_or(0),
                     };
+                    // Whether a queued run was replayed from a record is
+                    // only known once the engine has resolved it.
+                    let source = match sources[index] {
+                        Source::Simulated if result.via_replay => Source::Replayed,
+                        s => s,
+                    };
                     send(&Event::RunDone {
                         index,
                         key: key.clone(),
-                        source: sources[index],
+                        source,
                         wall_nanos,
                         result: (*result).clone(),
                     });

@@ -13,6 +13,10 @@
 //!   must each be bit-identical to the reference sequential
 //!   cycle-by-cycle loop in statistics, telemetry, and final memory, and
 //!   a repeated run must be bit-identical to the first (determinism).
+//!   Record capture must not perturb any output, and timing replay from
+//!   the captured record ([`gpgpu_sim::GpuDevice::set_replay`]) must
+//!   reproduce direct execution's statistics, telemetry, and memory hash
+//!   under every CTA policy and thread count.
 //! * **Functional** — because the generated kernels are race-free, final
 //!   global memory is computable on the CPU by mirroring each op through
 //!   [`gpgpu_isa::sem::eval_alu`]. Every CTA-scheduling policy in
@@ -37,8 +41,8 @@ use gpgpu_isa::{
     sem, AluOp, CmpOp, CmpTy, Dim2, KernelBuilder, KernelDescriptor, Program, SpecialReg,
 };
 use gpgpu_sim::{
-    conservation_violations, CtaCompleteEvent, CtaScheduler, Dispatch, DispatchView, GpuConfig,
-    GpuDevice, KernelId, MemorySink, SimError, TelemetryConfig, TelemetryData,
+    conservation_violations, CtaCompleteEvent, CtaScheduler, Dispatch, DispatchView, ExecRecord,
+    GpuConfig, GpuDevice, KernelId, MemorySink, SimError, TelemetryConfig, TelemetryData,
 };
 use gpgpu_testkit::{Gen, SplitMix64};
 use std::fmt;
@@ -469,6 +473,37 @@ pub fn run_case_threads(
     telemetry: bool,
     sim_threads: usize,
 ) -> Result<RunOutput, SimError> {
+    run_case_mode(case, cta, fast_forward, telemetry, sim_threads, CaseMode::Direct)
+        .map(|(out, _)| out)
+}
+
+/// How [`run_case_mode`] drives the device: plain execution, execution
+/// with record capture, or timing replay from a captured record.
+pub enum CaseMode {
+    /// Plain execution.
+    Direct,
+    /// Execute and capture an [`ExecRecord`].
+    Capture,
+    /// Replay timing from a record; global memory data is never touched,
+    /// so the returned [`RunOutput`] carries the record's `mem_hash` and
+    /// empty result buffers (the functional oracle does not apply).
+    Replay(Arc<ExecRecord>),
+}
+
+/// The full-control variant behind [`run_case_threads`]: also selects
+/// capture or replay, and returns the captured record when capturing.
+///
+/// # Errors
+///
+/// As [`run_case`].
+pub fn run_case_mode(
+    case: &FuzzCase,
+    cta: Box<dyn CtaScheduler>,
+    fast_forward: bool,
+    telemetry: bool,
+    sim_threads: usize,
+    mode: CaseMode,
+) -> Result<(RunOutput, Option<ExecRecord>), SimError> {
     let mut cfg = GpuConfig::test_small();
     cfg.max_ctas_per_core = case.max_ctas;
     // A wedged case should fail fast, not burn the whole budget.
@@ -478,6 +513,17 @@ pub fn run_case_threads(
     let mut dev = GpuDevice::new(cfg, factory.as_ref(), cta);
     dev.set_fast_forward(fast_forward);
     dev.set_sim_threads(sim_threads);
+    let replaying = match &mode {
+        CaseMode::Direct => false,
+        CaseMode::Capture => {
+            dev.set_capture(true);
+            false
+        }
+        CaseMode::Replay(rec) => {
+            dev.set_replay(Arc::clone(rec));
+            true
+        }
+    };
     if telemetry {
         dev.enable_telemetry(TelemetryConfig::new(500), Box::new(MemorySink::new()));
     }
@@ -534,18 +580,30 @@ pub fn run_case_threads(
     };
 
     dev.run(case.budget)?;
-    let slots = dev.mem_ref().read_u32_vec(buf1, n1 as usize);
-    let slots2 = match buf2 {
-        Some(b) => dev.mem_ref().read_u32_vec(b, n2 as usize),
-        None => Vec::new(),
+    let (mem_hash, slots, slots2) = if replaying {
+        // Replay never writes memory data: the final hash is the one the
+        // record carries, and the buffers still hold their initial values.
+        let CaseMode::Replay(rec) = &mode else { unreachable!() };
+        (rec.mem_hash, Vec::new(), Vec::new())
+    } else {
+        let slots = dev.mem_ref().read_u32_vec(buf1, n1 as usize);
+        let slots2 = match buf2 {
+            Some(b) => dev.mem_ref().read_u32_vec(b, n2 as usize),
+            None => Vec::new(),
+        };
+        (dev.mem_ref().content_hash(), slots, slots2)
     };
-    Ok(RunOutput {
-        stats: dev.stats(),
-        mem_hash: dev.mem_ref().content_hash(),
-        telemetry: dev.take_telemetry_data(),
-        slots,
-        slots2,
-    })
+    let record = dev.take_record();
+    Ok((
+        RunOutput {
+            stats: dev.stats(),
+            mem_hash,
+            telemetry: dev.take_telemetry_data(),
+            slots,
+            slots2,
+        },
+        record,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -633,7 +691,7 @@ pub fn expected_memory(case: &FuzzCase) -> ExpectedMem {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Failure {
     /// The oracle family: `spec`, `run`, `differential`, `determinism`,
-    /// `functional`, `cross-policy`, or `conservation`.
+    /// `functional`, `cross-policy`, `conservation`, or `replay`.
     pub oracle: &'static str,
     /// Human-readable description of the mismatch.
     pub detail: String,
@@ -758,11 +816,88 @@ pub fn check_case_with(
         _ => {}
     }
 
+    // Capture/replay: capturing must not perturb any output, and timing
+    // replay from the captured record must reproduce direct execution —
+    // stats, telemetry, and (via the record's carried hash) memory —
+    // under the baseline at both thread counts, and under every policy
+    // in the sweep below.
+    let record = match run_case_mode(
+        case,
+        make_sched(baseline),
+        true,
+        true,
+        gpgpu_sim::sim_threads_default(),
+        CaseMode::Capture,
+    ) {
+        Err(e) => {
+            fails.push(fail("run", format!("baseline (capture): {e}")));
+            None
+        }
+        Ok((out, rec)) => {
+            if matches!(&fast, Ok(a) if *a != out) {
+                fails.push(fail(
+                    "differential",
+                    "capture perturbs an output vs plain execution",
+                ));
+            }
+            if rec.is_none() {
+                fails.push(fail("replay", "capture run completed but produced no record"));
+            }
+            rec.map(Arc::new)
+        }
+    };
+    if let (Some(rec), Ok(a)) = (&record, &fast) {
+        for threads in [1usize, 4] {
+            match run_case_mode(
+                case,
+                make_sched(baseline),
+                true,
+                true,
+                threads,
+                CaseMode::Replay(Arc::clone(rec)),
+            ) {
+                Err(e) => fails.push(fail(
+                    "replay",
+                    format!("baseline replay ({threads} threads): {e}"),
+                )),
+                Ok((r, _)) => {
+                    if r.stats != a.stats {
+                        fails.push(fail(
+                            "replay",
+                            format!(
+                                "baseline replay ({threads} threads): \
+                                 SimStats differ from direct execution"
+                            ),
+                        ));
+                    }
+                    if r.mem_hash != a.mem_hash {
+                        fails.push(fail(
+                            "replay",
+                            format!(
+                                "record hash {:#018x} != direct memory hash {:#018x}",
+                                r.mem_hash, a.mem_hash
+                            ),
+                        ));
+                    }
+                    if r.telemetry != a.telemetry {
+                        fails.push(fail(
+                            "replay",
+                            format!(
+                                "baseline replay ({threads} threads): \
+                                 telemetry differs from direct execution"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
     // Functional + invariants, across the whole CTA-policy sweep. The
     // final buffers (and the whole-memory hash) must not depend on the
     // scheduling policy; conservation must hold under every policy.
     for (name, policy) in CtaPolicy::sweep_named() {
-        match run_case(case, make_sched(policy), true, false) {
+        match run_case(case, make_sched(policy.clone()), true, false) {
             Err(e) => fails.push(fail("run", format!("{name}: {e}"))),
             Ok(out) => {
                 let v = conservation_violations(&out.stats);
@@ -784,6 +919,32 @@ pub fn check_case_with(
                                 out.mem_hash
                             ),
                         ));
+                    }
+                }
+                // The record was captured under the baseline; replaying
+                // it under this policy must re-time to exactly the stats
+                // direct execution produced.
+                if let Some(rec) = &record {
+                    match run_case_mode(
+                        case,
+                        make_sched(policy),
+                        true,
+                        false,
+                        gpgpu_sim::sim_threads_default(),
+                        CaseMode::Replay(Arc::clone(rec)),
+                    ) {
+                        Err(e) => fails.push(fail("replay", format!("{name} (replay): {e}"))),
+                        Ok((r, _)) => {
+                            if r.stats != out.stats {
+                                fails.push(fail(
+                                    "replay",
+                                    format!(
+                                        "{name}: replayed SimStats differ \
+                                         from direct execution"
+                                    ),
+                                ));
+                            }
+                        }
                     }
                 }
             }
@@ -995,6 +1156,27 @@ mod tests {
         assert!(FuzzCase::from_repro("ops=iadd:1\nblock=3x1\nsmem=1").is_err());
         assert!(FuzzCase::from_repro("ops=iadd:1\nwarp=nosuch").is_err());
         assert!(FuzzCase::from_repro("ops=frob:1").is_err());
+    }
+
+    #[test]
+    fn capture_then_replay_reproduces_direct_outputs() {
+        let case = FuzzCase::generate(5, 1_000_000);
+        let sched = || CtaPolicy::Baseline(None).scheduler();
+        let (direct, _) = run_case_mode(&case, sched(), true, true, 1, CaseMode::Direct)
+            .expect("direct runs");
+        let (captured, rec) = run_case_mode(&case, sched(), true, true, 1, CaseMode::Capture)
+            .expect("capture runs");
+        assert_eq!(direct, captured, "capture must not perturb outputs");
+        let rec = Arc::new(rec.expect("capture yields a record"));
+        // Replay at a different thread count: stats, telemetry, and the
+        // record-carried hash must still match direct execution.
+        let (replayed, _) =
+            run_case_mode(&case, sched(), true, true, 2, CaseMode::Replay(rec))
+                .expect("replay runs");
+        assert_eq!(replayed.stats, direct.stats);
+        assert_eq!(replayed.telemetry, direct.telemetry);
+        assert_eq!(replayed.mem_hash, direct.mem_hash);
+        assert!(replayed.slots.is_empty(), "replay never reads result buffers");
     }
 
     #[test]

@@ -13,7 +13,15 @@
 //! <root>/<hh>/<128-bit FNV-1a of key, 32 hex chars>.json    one entry
 //! <root>/<hh>/<hash>.events.jsonl                           telemetry ptr
 //! <root>/<hh>/<hash>.intervals.csv                          telemetry ptr
+//! <root>/<hh>/<prefix-hash>.record.bin                      exec record
 //! ```
+//!
+//! Execution records (`gpgpu_sim::record`, schema 1.2) are addressed by
+//! the *CTA-policy-independent prefix* of the content key
+//! ([`codec::content_key_prefix`]): every spec in a (workload, scale,
+//! warp, cycles, gpu) group resolves to the same record file, which is
+//! what lets one capture serve all of a sweep's replays across
+//! processes.
 //!
 //! where `<hh>` is the first two hex characters (256-way sharding keeps
 //! directories small at millions of entries). Each entry is one JSON
@@ -41,10 +49,12 @@
 //! corrupt, just not ours to read.
 
 use crate::codec::{
-    self, content_key, result_from_json, result_to_json, spec_to_json, CodecError, SCHEMA_VERSION,
+    self, content_key, content_key_prefix, result_from_json, result_to_json, spec_to_json,
+    CodecError, SCHEMA_VERSION,
 };
 use crate::engine::{RunResult, RunSpec};
 use crate::json::Json;
+use gpgpu_sim::ExecRecord;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -288,6 +298,49 @@ impl ResultStore {
         self.write_atomic(&path, text.as_bytes())?;
         self.stored.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// The path of the execution record covering `spec`'s replay group.
+    fn record_path(&self, spec: &RunSpec) -> PathBuf {
+        let addr = content_address(&content_key_prefix(spec));
+        self.root.join(&addr[..2]).join(format!("{addr}.record.bin"))
+    }
+
+    /// Persists an execution record under `spec`'s *replay-group* address
+    /// (the CTA-policy-independent key prefix), so any spec in the group
+    /// finds it. Atomic like entry writes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors; the record file is never left half-written.
+    pub fn save_record(&self, spec: &RunSpec, record: &ExecRecord) -> io::Result<()> {
+        let path = self.record_path(spec);
+        std::fs::create_dir_all(path.parent().expect("record paths have a shard parent"))?;
+        let mut bytes = Vec::new();
+        record.write_to(&mut bytes)?;
+        self.write_atomic(&path, &bytes)
+    }
+
+    /// Loads the execution record covering `spec`'s replay group, if one
+    /// was captured by any previous run in the group. An unreadable
+    /// record is evicted (renamed `*.corrupt`) and reported as a miss, so
+    /// the caller falls back to a fresh capture.
+    pub fn load_record(&self, spec: &RunSpec) -> Option<ExecRecord> {
+        let path = self.record_path(spec);
+        let bytes = std::fs::read(&path).ok()?;
+        match ExecRecord::read_from(&mut bytes.as_slice()) {
+            Ok(rec) => Some(rec),
+            Err(why) => {
+                let quarantined = path.with_extension("bin.corrupt");
+                let _ = std::fs::rename(&path, &quarantined);
+                eprintln!(
+                    "warning: evicting corrupt record {} ({why})",
+                    path.display()
+                );
+                self.evicted_corrupt.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
     }
 
     /// Writes `bytes` to `path` atomically: a unique temp file in the

@@ -163,6 +163,61 @@ fn server_store_survives_restart() {
 }
 
 #[test]
+fn replay_mode_serves_policy_variants_from_one_capture() {
+    use gpgpu_bench::ReplayMode;
+
+    let h = Harness::quick();
+    // Same workload + scale + warp policy, three CTA policies — one
+    // replay group, so under `Force` the server captures once and
+    // replays twice.
+    let specs = vec![
+        RunSpec::single(&h, "vecadd", WarpPolicy::Gto, CtaPolicy::Baseline(None)),
+        RunSpec::single(&h, "vecadd", WarpPolicy::Gto, CtaPolicy::Lcs(0.7)),
+        RunSpec::single(&h, "vecadd", WarpPolicy::Gto, CtaPolicy::Bcs(2)),
+    ];
+
+    // Reference: a plain local run with replay off.
+    let mut local = LocalClient::new(1);
+    let expected = local.run_batch(&specs).expect("local batch");
+
+    let (addr, handle) = start(ServeConfig {
+        jobs: 1,
+        replay: ReplayMode::Force,
+        ..ServeConfig::default()
+    });
+    let mut remote = RemoteClient::new(&addr);
+    let got = remote.run_batch(&specs).expect("replayed batch");
+
+    let replayed = got
+        .iter()
+        .filter(|i| i.source == Source::Replayed)
+        .count();
+    let simulated = got
+        .iter()
+        .filter(|i| i.source == Source::Simulated)
+        .count();
+    assert!(replayed >= 1, "at least one run served via replay: {got:?}");
+    assert_eq!(
+        replayed + simulated,
+        specs.len(),
+        "every run either captured or replayed: {got:?}"
+    );
+    for (e, g) in expected.iter().zip(&got) {
+        assert_eq!(
+            e.result.stats, g.result.stats,
+            "replayed stats identical to direct execution"
+        );
+    }
+
+    let stats = RemoteClient::new(&addr).stats().expect("stats");
+    assert_eq!(stats.runs_replayed as usize, replayed);
+    assert_eq!(stats.runs_executed as usize, simulated);
+
+    client_shutdown(&addr);
+    handle.join().expect("server thread exits cleanly");
+}
+
+#[test]
 fn progress_events_stream_for_long_runs() {
     let h = Harness::quick();
     let specs = vec![spec(&h, "vecadd", WarpPolicy::Gto)];

@@ -20,6 +20,7 @@
 use crate::coalesce::{coalesce, shared_conflict_passes};
 use crate::config::GpuConfig;
 use crate::memory::{GlobalMem, GmemOp, SharedMem};
+use crate::record::{ExecRecord, WarpTrace};
 use crate::sched_api::{
     CtaIssueSample, IssueView, KernelId, WarpMeta, WarpScheduler, WarpSchedulerFactory,
 };
@@ -177,6 +178,28 @@ struct Warp {
     pending_preds: u8,
     outstanding_loads: u32,
     at_barrier: bool,
+    /// Replay-mode position in this warp's recorded trace; unused (0) in
+    /// direct execution.
+    trace_cursor: u32,
+}
+
+/// One finished warp's captured trace, tagged with its policy-invariant
+/// coordinates so the device can assemble per-core buffers into an
+/// [`ExecRecord`] regardless of where the CTA scheduler placed the CTA.
+#[derive(Debug)]
+pub(crate) struct CapturedWarp {
+    pub(crate) kernel: usize,
+    pub(crate) cta_id: u64,
+    pub(crate) warp_in_cta: u32,
+    pub(crate) trace: WarpTrace,
+}
+
+/// Capture-mode state: one in-progress step buffer per warp slot, plus
+/// the traces of already-retired warps.
+#[derive(Debug, Default)]
+struct CaptureState {
+    bufs: Vec<WarpTrace>,
+    done: Vec<CapturedWarp>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -357,6 +380,11 @@ pub struct Core {
     scratch_outcomes: Vec<SlotStall>,
     /// Compute-phase output buffers, drained by the merge phase.
     staging: CoreStaging,
+    /// Capture-mode trace buffers (`None` in direct/replay execution).
+    capture: Option<CaptureState>,
+    /// Replay-mode execution record (`None` in direct/capture execution).
+    /// Shared read-only across cores, so `--sim-threads` composes.
+    replay: Option<Arc<ExecRecord>>,
 }
 
 impl std::fmt::Debug for Core {
@@ -422,8 +450,35 @@ impl Core {
             occupied_mask: vec![0; ready_words],
             scratch_outcomes: Vec::new(),
             staging: CoreStaging::default(),
+            capture: None,
+            replay: None,
             cfg,
         }
+    }
+
+    /// Turns trace capture on or off. Capture only appends to side
+    /// buffers from the issue stage — timing, statistics, and memory are
+    /// untouched, so a capture run's outputs equal a direct run's.
+    /// Toggle before dispatching any work.
+    pub fn set_capture(&mut self, on: bool) {
+        self.capture = on.then(|| CaptureState {
+            bufs: (0..self.warps.len()).map(|_| WarpTrace::default()).collect(),
+            done: Vec::new(),
+        });
+    }
+
+    /// Installs (or clears) the execution record driving replay mode.
+    /// Install before dispatching any work.
+    pub fn set_replay(&mut self, record: Option<Arc<ExecRecord>>) {
+        self.replay = record;
+    }
+
+    /// Drains the traces of every warp that retired while capture was on.
+    pub(crate) fn take_captured(&mut self) -> Vec<CapturedWarp> {
+        self.capture
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.done))
+            .unwrap_or_default()
     }
 
     /// This core's index.
@@ -590,7 +645,12 @@ impl Core {
                 pending_preds: 0,
                 outstanding_loads: 0,
                 at_barrier: false,
+                trace_cursor: 0,
             });
+            if let Some(cap) = &mut self.capture {
+                cap.bufs[w].steps.clear();
+                cap.bufs[w].addrs.clear();
+            }
             self.warp_meta[w] = Some(meta);
             self.ready_state[w] = ReadyState::Unknown;
             self.occupied_mask[w >> 6] |= 1u64 << (w & 63);
@@ -790,7 +850,11 @@ impl Core {
         let mut ops = std::mem::take(&mut self.staging.gmem_ops);
         for op in ops.drain(..) {
             if op.is_store {
-                gmem.apply_store(&op);
+                if op.touch_only {
+                    gmem.touch_store(&op);
+                } else {
+                    gmem.apply_store(&op);
+                }
             } else {
                 let w = self.warps[op.warp]
                     .as_mut()
@@ -961,8 +1025,17 @@ impl Core {
         if w.at_barrier {
             return ReadyState::Blocked(BlockCause::Barrier);
         }
-        let Some((pc, _mask)) = w.stack.sync(w.exited) else {
-            return ReadyState::Blocked(BlockCause::Scoreboard);
+        // Replay mode reads the next pc from the recorded trace (the
+        // SIMT stack is not simulated); direct execution syncs the stack.
+        // Everything below — the scoreboard, the structural classes — is
+        // shared between the two modes.
+        let pc = if let Some(rec) = &self.replay {
+            rec.warp_trace(w.kernel.0, w.cta_id, w.warp_in_cta).steps[w.trace_cursor as usize].pc
+        } else {
+            match w.stack.sync(w.exited) {
+                Some((pc, _mask)) => pc,
+                None => return ReadyState::Blocked(BlockCause::Scoreboard),
+            }
         };
         // Any scoreboard wait while the warp has global loads in flight is
         // attributed to memory — the load's latency is what the warp is
@@ -1183,11 +1256,15 @@ impl Core {
     /// CTA. Global-memory effects are staged, not applied — the merge
     /// phase replays them in core order.
     fn execute_one(&mut self, slot: usize, now: Cycle) -> Option<CoreCtaCompletion> {
+        if self.replay.is_some() {
+            return self.execute_one_replay(slot, now);
+        }
         let cfg = Arc::clone(&self.cfg);
         let Core {
             warps,
             cta_slots,
             warp_meta,
+            capture,
             lsq,
             wb_wheel,
             wb_mask,
@@ -1218,6 +1295,11 @@ impl Core {
             }
             None => mask,
         };
+
+        // Capture: memory arms fill in the generated addresses below
+        // (a stack copy — the arena push is the only heap traffic).
+        let capturing = capture.is_some();
+        let mut cap_addrs: Option<[u64; WARP_SIZE]> = None;
 
         // Statistics. The per-kernel vector was grown at dispatch time, so
         // the hot path is a plain indexed increment.
@@ -1390,6 +1472,9 @@ impl Core {
                     addrs[lane] =
                         w.regs[addr.base.0 as usize][lane].wrapping_add(addr.offset as u64);
                 }
+                if capturing {
+                    cap_addrs = Some(addrs);
+                }
                 match space {
                     MemSpace::Global => {
                         // Stage the functional read for the merge phase.
@@ -1399,6 +1484,7 @@ impl Core {
                         if exec_mask != 0 {
                             staging.gmem_ops.push(GmemOp {
                                 is_store: false,
+                                touch_only: false,
                                 warp: slot,
                                 reg: dst.0,
                                 width,
@@ -1474,6 +1560,9 @@ impl Core {
                     addrs[lane] =
                         w.regs[addr.base.0 as usize][lane].wrapping_add(addr.offset as u64);
                 }
+                if capturing {
+                    cap_addrs = Some(addrs);
+                }
                 match space {
                     MemSpace::Global => {
                         // Stage the functional write with lane values
@@ -1486,6 +1575,7 @@ impl Core {
                             }
                             staging.gmem_ops.push(GmemOp {
                                 is_store: true,
+                                touch_only: false,
                                 warp: slot,
                                 reg: 0,
                                 width,
@@ -1532,9 +1622,226 @@ impl Core {
             }
         }
 
+        if let Some(cap) = capture {
+            cap.bufs[slot].push_step(pc, exec_mask, cap_addrs.as_ref());
+        }
+
         // Did the warp finish?
         let w = warps[slot].as_mut().expect("warp present");
         if w.stack.is_done(w.exited) {
+            let cta_slot = w.cta_slot;
+            let kernel = w.kernel;
+            self.retire_warp(slot, cta_slot, kernel, now)
+        } else {
+            None
+        }
+    }
+
+    /// Replay-mode twin of [`execute_one`](Self::execute_one): issues the
+    /// next recorded step of the warp in `slot`, performing every timing
+    /// action of direct execution — statistics, scoreboard pending bits,
+    /// writeback scheduling, coalescing, LSQ traffic, bank-conflict
+    /// replays, barrier bookkeeping — while never evaluating semantics.
+    /// Register/predicate values, shared/global memory data, and the
+    /// SIMT stack are untouched; execution masks and addresses come from
+    /// the record. The warp retires when its cursor reaches the end of
+    /// its trace, which is exactly the issue after which the direct run
+    /// retired it.
+    fn execute_one_replay(&mut self, slot: usize, now: Cycle) -> Option<CoreCtaCompletion> {
+        let cfg = Arc::clone(&self.cfg);
+        let rec = Arc::clone(self.replay.as_ref().expect("replay record installed"));
+        let Core {
+            warps,
+            cta_slots,
+            warp_meta,
+            lsq,
+            wb_wheel,
+            wb_mask,
+            wb_pending,
+            wb_next,
+            load_slab,
+            load_free,
+            live_loads,
+            next_req,
+            shared_pipe_free,
+            stats,
+            issued_per_kernel,
+            ready_state,
+            staging,
+            id: core_id,
+            ..
+        } = self;
+        let wb_mask = *wb_mask;
+        let w = warps[slot].as_mut().expect("warp present");
+        let trace = rec.warp_trace(w.kernel.0, w.cta_id, w.warp_in_cta);
+        let step = trace.steps[w.trace_cursor as usize];
+        let ins = *w.desc.program().fetch(step.pc);
+        let exec_mask = step.exec_mask;
+        let zero_addrs = [0u64; WARP_SIZE];
+        let addrs: &[u64; WARP_SIZE] = trace.addrs_of(&step).unwrap_or(&zero_addrs);
+
+        stats.issued += 1;
+        issued_per_kernel[w.kernel.0] += 1;
+        if let Some(m) = warp_meta[slot].as_mut() {
+            m.issued += 1;
+        }
+        let cta = cta_slots[w.cta_slot].as_mut().expect("cta present");
+        cta.issued += 1;
+
+        macro_rules! schedule_wb {
+            ($t:expr, $ev:expr) => {{
+                let t: Cycle = $t;
+                wb_wheel[(t as usize) & wb_mask].push($ev);
+                *wb_pending += 1;
+                if t < *wb_next {
+                    *wb_next = t;
+                }
+            }};
+        }
+        macro_rules! schedule_reg_wb {
+            ($t:expr, $reg:expr) => {
+                schedule_wb!(
+                    $t,
+                    WbEvent::Reg {
+                        warp: slot,
+                        reg: $reg,
+                    }
+                )
+            };
+        }
+
+        match ins.op {
+            Instr::Alu { dst, .. } => {
+                let lat = match ins.exec_class() {
+                    ExecClass::Sfu => cfg.sfu_latency,
+                    ExecClass::FpAlu => cfg.fp_latency,
+                    _ => cfg.int_latency,
+                };
+                w.pending_regs |= 1u64 << dst.0;
+                schedule_reg_wb!(now + u64::from(lat), dst.0);
+            }
+            Instr::Mov { dst, .. }
+            | Instr::Special { dst, .. }
+            | Instr::Param { dst, .. }
+            | Instr::Sel { dst, .. } => {
+                w.pending_regs |= 1u64 << dst.0;
+                schedule_reg_wb!(now + u64::from(cfg.int_latency), dst.0);
+            }
+            Instr::SetP { dst, .. } | Instr::PBool { dst, .. } => {
+                w.pending_preds |= 1u8 << dst.0;
+                schedule_wb!(
+                    now + u64::from(cfg.int_latency),
+                    WbEvent::Pred { warp: slot, pred: dst.0 }
+                );
+            }
+            Instr::Bra { .. } | Instr::BraCond { .. } | Instr::Exit => {
+                // Control flow is the trace itself; nothing to time.
+            }
+            Instr::Bar => {
+                w.at_barrier = true;
+                cta.barrier_arrived += 1;
+                if cta.barrier_arrived >= cta.live_warps {
+                    cta.barrier_arrived = 0;
+                    for &ws in &cta.warp_slots {
+                        if let Some(other) = warps_get_mut(warps, ws, slot) {
+                            other.at_barrier = false;
+                        }
+                        ready_state[ws] = ReadyState::Unknown;
+                    }
+                    warps[slot].as_mut().expect("self").at_barrier = false;
+                }
+            }
+            Instr::Ld { space, dst, width, .. } => match space {
+                MemSpace::Global => {
+                    let lines =
+                        coalesce(addrs, exec_mask, width.bytes(), u64::from(cfg.l1.line_bytes));
+                    if lines.is_empty() {
+                        w.pending_regs |= 1u64 << dst.0;
+                        schedule_reg_wb!(now + u64::from(cfg.int_latency), dst.0);
+                    } else {
+                        stats.gmem_transactions += lines.len() as u64;
+                        let track = LoadTrack {
+                            warp: slot,
+                            reg: dst.0,
+                            remaining: lines.len() as u32,
+                        };
+                        let token = match load_free.pop() {
+                            Some(i) => {
+                                load_slab[i as usize] = track;
+                                u64::from(i)
+                            }
+                            None => {
+                                load_slab.push(track);
+                                (load_slab.len() - 1) as u64
+                            }
+                        };
+                        *live_loads += 1;
+                        w.pending_regs |= 1u64 << dst.0;
+                        w.outstanding_loads += 1;
+                        for &line in &lines {
+                            *next_req += 1;
+                            lsq.push_back(Txn {
+                                id: ReqId(((*core_id as u64) << 48) | *next_req),
+                                line,
+                                token: Some(token),
+                                is_store: false,
+                            });
+                        }
+                    }
+                }
+                MemSpace::Shared => {
+                    let passes = shared_conflict_passes(addrs, exec_mask).max(1);
+                    stats.shared_replays += u64::from(passes - 1);
+                    *shared_pipe_free = now + u64::from(passes);
+                    w.pending_regs |= 1u64 << dst.0;
+                    schedule_reg_wb!(
+                        now + u64::from(cfg.shared_latency) + u64::from(passes - 1),
+                        dst.0
+                    );
+                }
+            },
+            Instr::St { space, width, .. } => match space {
+                MemSpace::Global => {
+                    // Replay never writes data, but page materialization is
+                    // a telemetry observable (`gmem_pages`): stage a
+                    // touch-only store so the merge phase allocates the
+                    // same pages on the same cycle as direct execution.
+                    if exec_mask != 0 {
+                        staging.gmem_ops.push(GmemOp {
+                            is_store: true,
+                            touch_only: true,
+                            warp: slot,
+                            reg: 0,
+                            width,
+                            addrs: *addrs,
+                            values: [0; WARP_SIZE],
+                            mask: exec_mask,
+                        });
+                    }
+                    let lines =
+                        coalesce(addrs, exec_mask, width.bytes(), u64::from(cfg.l1.line_bytes));
+                    stats.gmem_transactions += lines.len() as u64;
+                    for &line in &lines {
+                        *next_req += 1;
+                        lsq.push_back(Txn {
+                            id: ReqId(((*core_id as u64) << 48) | *next_req),
+                            line,
+                            token: None,
+                            is_store: true,
+                        });
+                    }
+                }
+                MemSpace::Shared => {
+                    let passes = shared_conflict_passes(addrs, exec_mask).max(1);
+                    stats.shared_replays += u64::from(passes - 1);
+                    *shared_pipe_free = now + u64::from(passes);
+                }
+            },
+        }
+
+        let w = warps[slot].as_mut().expect("warp present");
+        w.trace_cursor += 1;
+        if w.trace_cursor as usize == trace.steps.len() {
             let cta_slot = w.cta_slot;
             let kernel = w.kernel;
             self.retire_warp(slot, cta_slot, kernel, now)
@@ -1551,6 +1858,16 @@ impl Core {
         kernel: KernelId,
         _now: Cycle,
     ) -> Option<CoreCtaCompletion> {
+        if let Some(cap) = &mut self.capture {
+            if let Some(w) = self.warps[slot].as_ref() {
+                cap.done.push(CapturedWarp {
+                    kernel: w.kernel.0,
+                    cta_id: w.cta_id,
+                    warp_in_cta: w.warp_in_cta,
+                    trace: std::mem::take(&mut cap.bufs[slot]),
+                });
+            }
+        }
         self.warps[slot] = None;
         self.warp_meta[slot] = None;
         self.occupied_mask[slot >> 6] &= !(1u64 << (slot & 63));

@@ -5,6 +5,7 @@ use crate::config::GpuConfig;
 use crate::core_model::Core;
 use crate::memory::GlobalMem;
 use crate::parallel::{worker_loop, ComputePool, CoreAccess, CoreCell};
+use crate::record::{CtaRecord, ExecRecord, KernelRecord, WarpTrace};
 use crate::sched_api::{
     CoreDispatchInfo, CtaCompleteEvent, CtaScheduler, DispatchView, KernelId, KernelSummary,
     WarpSchedulerFactory,
@@ -259,6 +260,73 @@ impl GpuDevice {
     /// reference cycle-by-cycle loop (validation and debugging).
     pub fn set_fast_forward(&mut self, enabled: bool) {
         self.fast_forward = enabled;
+    }
+
+    /// Turns execution-record capture on or off (see [`crate::record`]).
+    /// Capture is observation-only: timing, statistics, memory, and
+    /// telemetry are byte-identical to a plain run. Toggle before
+    /// launching kernels; collect the record with
+    /// [`take_record`](Self::take_record) after [`run`](Self::run).
+    pub fn set_capture(&mut self, on: bool) {
+        for c in &mut self.cores {
+            c.get_mut().set_capture(on);
+        }
+    }
+
+    /// Switches the device into timing-replay mode, driven by `record`
+    /// (see [`crate::record`]). Kernels must be launched in the same
+    /// order as the capture run; any CTA policy, warp policy, and
+    /// `--sim-threads` value may differ. In replay, global memory is
+    /// never read or written by kernels, so workload output verification
+    /// must be skipped — the record's
+    /// [`mem_hash`](ExecRecord::mem_hash) stands in for the final memory
+    /// contents. Install before launching kernels.
+    pub fn set_replay(&mut self, record: Arc<ExecRecord>) {
+        for c in &mut self.cores {
+            c.get_mut().set_replay(Some(Arc::clone(&record)));
+        }
+    }
+
+    /// Collects the execution record of a finished capture run: every
+    /// warp's issued-instruction trace, assembled across cores into
+    /// launch-order kernel records, plus the final memory content hash.
+    /// Returns `None` unless capture was enabled and all kernels ran to
+    /// completion (a partial record must never be replayed).
+    pub fn take_record(&mut self) -> Option<ExecRecord> {
+        if !self.all_done() {
+            return None;
+        }
+        let mut kernels: Vec<KernelRecord> = self
+            .kernels
+            .iter()
+            .map(|k| {
+                let grid = k.desc.grid();
+                let ctas = u64::from(grid.x) * u64::from(grid.y);
+                let warps = k.desc.warps_per_cta() as usize;
+                KernelRecord {
+                    ctas: (0..ctas)
+                        .map(|_| CtaRecord {
+                            warps: vec![WarpTrace::default(); warps],
+                        })
+                        .collect(),
+                }
+            })
+            .collect();
+        let mut any = false;
+        for c in &mut self.cores {
+            for cw in c.get_mut().take_captured() {
+                any = true;
+                kernels[cw.kernel].ctas[cw.cta_id as usize].warps[cw.warp_in_cta as usize] =
+                    cw.trace;
+            }
+        }
+        if !any {
+            return None;
+        }
+        Some(ExecRecord {
+            kernels,
+            mem_hash: self.gmem.content_hash(),
+        })
     }
 
     /// Attaches telemetry: interval samples and (if configured) trace

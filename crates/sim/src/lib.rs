@@ -36,6 +36,7 @@ mod device;
 pub mod invariants;
 mod memory;
 mod parallel;
+pub mod record;
 pub mod sched_api;
 pub mod simt;
 mod stats;
@@ -49,6 +50,7 @@ pub use device::{
 };
 pub use invariants::{assert_conservation, conservation_violations};
 pub use memory::{GlobalMem, SharedMem};
+pub use record::{CtaRecord, ExecRecord, KernelRecord, TraceStep, WarpTrace};
 pub use sched_api::{
     CoreDispatchInfo, CtaCompleteEvent, CtaIssueSample, CtaScheduler, Dispatch, DispatchView,
     IssueView, KernelId, KernelSummary, WarpMeta, WarpScheduler, WarpSchedulerFactory,

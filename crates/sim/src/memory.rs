@@ -254,6 +254,27 @@ impl GlobalMem {
             }
         }
     }
+
+    /// Materializes (without modifying) every page the store would write:
+    /// replay's stand-in for [`GlobalMem::apply_store`], keeping
+    /// `resident_pages` — a telemetry observable — on the same trajectory
+    /// as direct execution while leaving contents untouched (pages start
+    /// zeroed, and [`GlobalMem::content_hash`] skips all-zero pages).
+    pub(crate) fn touch_store(&mut self, op: &GmemOp) {
+        let bytes = match op.width {
+            AccessWidth::W4 => 4,
+            AccessWidth::W8 => 8,
+        };
+        for lane in 0..WARP_SIZE {
+            if op.mask & (1 << lane) != 0 {
+                // A lane write can straddle a page boundary; touch each
+                // byte's page the way the per-byte writes would.
+                for b in 0..bytes {
+                    let _ = self.page_mut(op.addrs[lane] + b);
+                }
+            }
+        }
+    }
 }
 
 /// One functional global-memory operation, staged by a core's issue stage
@@ -277,6 +298,9 @@ pub(crate) struct GmemOp {
     /// `true` for a store (apply `values`), `false` for a load (fill the
     /// warp's destination register from memory).
     pub is_store: bool,
+    /// Replay stores only: materialize the written pages but leave their
+    /// contents alone (replay never touches memory data).
+    pub touch_only: bool,
     /// Destination warp slot (loads only).
     pub warp: usize,
     /// Destination register index (loads only).

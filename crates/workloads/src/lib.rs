@@ -27,8 +27,9 @@ pub use common::{
     WorkloadClass,
 };
 pub use runner::{
-    run_pair, run_pair_traced, run_workload, run_workload_traced, run_workload_with_device,
-    RunError, RunOutcome, DEFAULT_MAX_CYCLES,
+    run_pair, run_pair_mode, run_pair_traced, run_workload, run_workload_mode,
+    run_workload_traced, run_workload_with_device, RunError, RunMode, RunOutcome,
+    DEFAULT_MAX_CYCLES,
 };
 
 use compute::{FmaHeavy, KMeansDist};

@@ -2,11 +2,28 @@
 
 use crate::common::{VerifyError, Workload};
 use gpgpu_sim::{
-    CtaScheduler, GpuConfig, GpuDevice, KernelId, MemorySink, SimError, SimStats, TelemetryConfig,
-    TelemetryData, WarpSchedulerFactory,
+    CtaScheduler, ExecRecord, GpuConfig, GpuDevice, KernelId, MemorySink, SimError, SimStats,
+    TelemetryConfig, TelemetryData, WarpSchedulerFactory,
 };
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
+
+/// How a run executes its functional side (see `gpgpu_sim::record`).
+#[derive(Debug, Clone, Default)]
+pub enum RunMode {
+    /// Plain execution: evaluate semantics, verify outputs.
+    #[default]
+    Direct,
+    /// Direct execution that also captures an [`ExecRecord`]; outputs
+    /// are byte-identical to [`RunMode::Direct`].
+    Capture,
+    /// Timing replay from a captured record: semantics are never
+    /// evaluated and memory data is never touched, so output
+    /// verification is skipped — the record's `mem_hash` stands in for
+    /// the final memory contents.
+    Replay(Arc<ExecRecord>),
+}
 
 /// Default cycle budget for harness runs.
 pub const DEFAULT_MAX_CYCLES: u64 = 200_000_000;
@@ -147,6 +164,105 @@ pub fn run_workload_traced(
     };
     let data = gpu.take_telemetry_data().unwrap_or_default();
     Ok((outcome, gpu, data))
+}
+
+/// As [`run_workload_with_device`], parameterized over [`RunMode`] and
+/// optional telemetry: the single entry point behind capture and replay
+/// runs. Returns the outcome, the device, the telemetry data (when
+/// `telemetry` was given), and the captured record (when `mode` was
+/// [`RunMode::Capture`]).
+///
+/// # Errors
+///
+/// As [`run_workload`]; replay runs skip output verification.
+pub fn run_workload_mode(
+    workload: &mut dyn Workload,
+    cfg: GpuConfig,
+    warp: &dyn WarpSchedulerFactory,
+    cta: Box<dyn CtaScheduler>,
+    max_cycles: u64,
+    telemetry: Option<TelemetryConfig>,
+    mode: RunMode,
+) -> Result<(RunOutcome, GpuDevice, Option<TelemetryData>, Option<ExecRecord>), RunError> {
+    let mut gpu = GpuDevice::new(cfg, warp, cta);
+    let replaying = match &mode {
+        RunMode::Direct => false,
+        RunMode::Capture => {
+            gpu.set_capture(true);
+            false
+        }
+        RunMode::Replay(rec) => {
+            gpu.set_replay(Arc::clone(rec));
+            true
+        }
+    };
+    if let Some(t) = telemetry {
+        gpu.enable_telemetry(t, Box::new(MemorySink::new()));
+    }
+    let desc = workload.prepare(gpu.mem());
+    let kernel = gpu.launch(desc);
+    gpu.run(max_cycles)?;
+    if !replaying {
+        workload.verify(gpu.mem_ref())?;
+    }
+    let outcome = RunOutcome {
+        stats: gpu.stats(),
+        kernel,
+    };
+    let data = gpu.take_telemetry_data();
+    let record = gpu.take_record();
+    Ok((outcome, gpu, data, record))
+}
+
+/// As [`run_pair`], parameterized over [`RunMode`] and optional
+/// telemetry (see [`run_workload_mode`]).
+///
+/// # Errors
+///
+/// As [`run_workload`]; replay runs skip output verification.
+#[allow(clippy::type_complexity, clippy::too_many_arguments)]
+pub fn run_pair_mode(
+    a: &mut dyn Workload,
+    b: &mut dyn Workload,
+    cfg: GpuConfig,
+    warp: &dyn WarpSchedulerFactory,
+    cta: Box<dyn CtaScheduler>,
+    serial: bool,
+    max_cycles: u64,
+    telemetry: Option<TelemetryConfig>,
+    mode: RunMode,
+) -> Result<(SimStats, KernelId, KernelId, Option<TelemetryData>, Option<ExecRecord>), RunError> {
+    let mut gpu = GpuDevice::new(cfg, warp, cta);
+    let replaying = match &mode {
+        RunMode::Direct => false,
+        RunMode::Capture => {
+            gpu.set_capture(true);
+            false
+        }
+        RunMode::Replay(rec) => {
+            gpu.set_replay(Arc::clone(rec));
+            true
+        }
+    };
+    if let Some(t) = telemetry {
+        gpu.enable_telemetry(t, Box::new(MemorySink::new()));
+    }
+    let desc_a = a.prepare(gpu.mem());
+    let desc_b = b.prepare(gpu.mem());
+    let ka = gpu.launch(desc_a);
+    let kb = if serial {
+        gpu.launch_after(desc_b, ka)
+    } else {
+        gpu.launch(desc_b)
+    };
+    gpu.run(max_cycles)?;
+    if !replaying {
+        a.verify(gpu.mem_ref())?;
+        b.verify(gpu.mem_ref())?;
+    }
+    let data = gpu.take_telemetry_data();
+    let record = gpu.take_record();
+    Ok((gpu.stats(), ka, kb, data, record))
 }
 
 /// Runs two workloads concurrently (both launched at cycle 0) and verifies

@@ -1,13 +1,13 @@
 //! Experiment CLI: regenerates the paper's tables and figures.
 //!
 //! ```text
-//! exp --all                     # run E1..E10 at Small scale
+//! exp --all                     # run E1..E11 at Small scale
 //! exp e3 e5                     # run a subset
 //! exp --quick --all             # Tiny scale (smoke test)
 //! exp --store cache --all       # persistent result store: warm reruns
 //!                               # simulate nothing
 //! exp serve --store cache       # long-running job server
-//! exp submit --all              # run E1..E10 against that server
+//! exp submit --all              # run E1..E11 against that server
 //! exp trace                     # telemetry smoke run (no tables)
 //! exp --list                    # show experiment ids
 //! exp <command> --help          # per-command options
@@ -422,7 +422,7 @@ fn run_submit(h: &Harness, common: &CommonArgs, args: SubmitArgs) -> ExitCode {
     }
 }
 
-/// The `perf` path: simulate the full E1..E10 batch (no tables), report
+/// The `perf` path: simulate the full E1..E11 batch (no tables), report
 /// per-simulation and wall-clock-aggregate throughput, sweep one
 /// simulation across sim-thread counts, write a machine-readable
 /// `BENCH_sim.json`, and optionally gate against a previous report.
@@ -625,7 +625,7 @@ fn run_perf(
 }
 
 /// The `perf --sweep-only` path: just the single-simulation thread
-/// sweep, no E1..E10 batch. This is how the large-scale scaling numbers
+/// sweep, no E1..E11 batch. This is how the large-scale scaling numbers
 /// are recorded without paying for a full batch at that scale. The JSON
 /// deliberately carries no `cycles_per_second` field, so it can never be
 /// mistaken for a gating baseline.

@@ -68,7 +68,7 @@ impl Default for CommonArgs {
 /// Arguments of the (default) `run` subcommand.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunArgs {
-    /// Experiment ids to run (`e1` … `e10`).
+    /// Experiment ids to run (`e1` … `e11`).
     pub ids: Vec<String>,
     /// Run every experiment (`--all`).
     pub all: bool,
@@ -98,7 +98,7 @@ pub struct PerfArgs {
     /// Sim-thread counts for the single-simulation sweep
     /// (`--thread-sweep`; empty skips it).
     pub thread_sweep: Vec<usize>,
-    /// Skip the E1..E10 batch (`--sweep-only`).
+    /// Skip the E1..E11 batch (`--sweep-only`).
     pub sweep_only: bool,
 }
 
@@ -273,12 +273,12 @@ common options
 exit status: 0 success, 1 runtime failure, 2 usage error";
 
 const RUN_HELP: &str = "\
-usage: exp [options] (--all | e1 e2 ... e10)
+usage: exp [options] (--all | e1 e2 ... e11)
 
 run experiments through one shared, deduplicating engine; print tables
 and write them as CSV under --out-dir.
 
-  --all             run every experiment (e1..e10)
+  --all             run every experiment (e1..e11)
   --trace-dir PATH  record telemetry for E2/E5/E8 trace points into PATH
   --sample-every N  telemetry sampling interval in cycles (default 1000)
 
@@ -300,7 +300,7 @@ Common options (exp --help) apply.";
 const PERF_HELP: &str = "\
 usage: exp perf [options]
 
-simulator throughput benchmark: run the full E1..E10 batch, report
+simulator throughput benchmark: run the full E1..E11 batch, report
 per-simulation and wall-clock-aggregate cycles/sec, sweep one simulation
 across sim-thread counts, write BENCH_sim.json. Refuses --store unless
 --replay auto|force is given (a warm store would fake the throughput
@@ -313,7 +313,7 @@ cached results are still never served.
   --thread-sweep L  comma-separated sim-thread counts for the
                     single-simulation sweep (default 1,2,4; `none`
                     skips it)
-  --sweep-only      skip the E1..E10 batch and run only the thread sweep
+  --sweep-only      skip the E1..E11 batch and run only the thread sweep
                     (useful at --scale large); no baseline gating
 
 Common options (exp --help) apply.";
@@ -329,6 +329,12 @@ failures shrink to a reproducer file under --out-dir.
   --seeds A..B      seed window to fuzz (default 0..50)
   --budget-cycles N per-run cycle budget (default 1000000)
   --repro FILE      replay one reproducer file instead of fuzzing
+
+reproducer files are plain key=value lines (# comments allowed): seed,
+warp, grid=WxH, block=WxH, trips, ops=op:imm[,...], smem, divergent,
+optional grid2/block2/ops2 (concurrent kernel), optional dsl (nonzero
+seeds a DSL-generated kernel 1), max_ctas, budget. EXPERIMENTS.md
+documents the full format with an example.
 
 Common options (exp --help) apply.";
 
@@ -373,7 +379,7 @@ CTA policy of each run group. Re-checks the conservation identity
 Exactly one source is required. Common options (exp --help) apply.";
 
 const SUBMIT_HELP: &str = "\
-usage: exp submit [options] (--all | e1 e2 ... e10) [--shutdown]
+usage: exp submit [options] (--all | e1 e2 ... e11) [--shutdown]
 
 run experiments against an `exp serve` server: plan locally, submit the
 spec batch, stream progress, then build the same tables (byte-identical

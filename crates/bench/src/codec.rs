@@ -850,6 +850,26 @@ mod tests {
         assert_eq!(full.len(), policies.len());
     }
 
+    /// Generated-family names (`gen:<family>/<knobs>`) are first-class
+    /// workload identities: the name embeds verbatim in the content key,
+    /// every knob change changes the key (so the store cannot conflate
+    /// two family members), and the on-disk address stays path-safe
+    /// despite the `/`, `=`, and `,` in the name.
+    #[test]
+    fn generated_family_names_are_first_class_content_keys() {
+        let h = Harness::quick();
+        let key = |name: &str| {
+            content_key(&RunSpec::single(&h, name, WarpPolicy::Gto, CtaPolicy::Baseline(None)))
+        };
+        let a = key("gen:tile/reuse=16,stride=3,pad=2");
+        assert!(a.starts_with("single:gen:tile/reuse=16,stride=3,pad=2|scale=tiny|"));
+        assert_ne!(a, key("gen:tile/reuse=16,stride=3,pad=4"), "knobs must be identity");
+        assert_ne!(a, key("gen:tile/reuse=16,stride=3"), "defaulted != explicit name");
+        let addr = crate::store::content_address(&a);
+        assert_eq!(addr.len(), 32);
+        assert!(addr.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
     #[test]
     fn content_key_prefix_distinguishes_everything_else() {
         let h = Harness::quick();

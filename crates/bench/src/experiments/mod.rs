@@ -1,4 +1,4 @@
-//! The reconstructed evaluation, experiment by experiment (E1–E10).
+//! The reconstructed evaluation, experiment by experiment (E1–E11).
 //!
 //! Each experiment regenerates one table/figure of the paper's evaluation
 //! (see `DESIGN.md` for the index and `EXPERIMENTS.md` for measured
@@ -22,6 +22,7 @@ pub mod e07_bcs;
 pub mod e08_cke;
 pub mod e09_sensitivity;
 pub mod e10_cache_size;
+pub mod e11_generated;
 
 use crate::{Harness, RunEngine, RunSpec, Table};
 use gpgpu_workloads::RunOutcome;
@@ -29,7 +30,9 @@ use tbs_core::{CtaPolicy, WarpPolicy};
 
 /// All experiment ids, in order.
 pub fn all_ids() -> Vec<&'static str> {
-    vec!["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10"]
+    vec![
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+    ]
 }
 
 /// The specs experiment `id` needs executed before it can tabulate.
@@ -49,7 +52,8 @@ pub fn plan_experiment(id: &str, h: &Harness) -> Vec<RunSpec> {
         "e8" => e08_cke::plan(h),
         "e9" => e09_sensitivity::plan(h),
         "e10" => e10_cache_size::plan(h),
-        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
+        "e11" => e11_generated::plan(h),
+        other => panic!("unknown experiment id {other:?} (expected e1..e11)"),
     }
 }
 
@@ -71,7 +75,8 @@ pub fn collect_experiment(id: &str, h: &Harness, engine: &RunEngine) -> Vec<Tabl
         "e8" => e08_cke::collect(h, engine),
         "e9" => e09_sensitivity::collect(h, engine),
         "e10" => e10_cache_size::collect(h, engine),
-        other => panic!("unknown experiment id {other:?} (expected e1..e10)"),
+        "e11" => e11_generated::collect(h, engine),
+        other => panic!("unknown experiment id {other:?} (expected e1..e11)"),
     }
 }
 

@@ -1,6 +1,6 @@
 //! Experiment harness for the HPCA'14 thread-block-scheduling
 //! reproduction: regenerates every table and figure of the (reconstructed)
-//! evaluation — see `DESIGN.md` for the experiment index E1–E10 and
+//! evaluation — see `DESIGN.md` for the experiment index E1–E11 and
 //! `EXPERIMENTS.md` for measured results.
 //!
 //! Run everything:
@@ -9,7 +9,7 @@
 //! cargo run --release -p gpgpu-bench --bin exp -- --all
 //! ```
 //!
-//! or a single experiment (`e1` … `e10`), writing CSVs under `results/`.
+//! or a single experiment (`e1` … `e11`), writing CSVs under `results/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

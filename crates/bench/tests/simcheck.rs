@@ -90,3 +90,53 @@ fn injected_scheduler_bug_is_caught_and_shrinks_to_a_short_reproducer() {
     let back = FuzzCase::from_repro(&repro).expect("reproducer parses");
     assert_eq!(back, shrunk, "reproducer round-trips exactly");
 }
+
+/// The reproducer format documented in EXPERIMENTS.md must be the format
+/// `from_repro` actually parses: every fenced example beginning with the
+/// `# simcheck reproducer v1` header is extracted from the doc, parsed,
+/// and round-tripped through `to_repro` byte-for-byte. If `to_repro`
+/// gains, loses, or reorders a key, this fails until the doc is updated
+/// (and vice versa) — the help/docs drift this repo shipped once cannot
+/// recur silently.
+#[test]
+fn documented_reproducer_examples_parse() {
+    let doc = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../EXPERIMENTS.md"),
+    )
+    .expect("EXPERIMENTS.md is readable from the workspace");
+    let mut examples = Vec::new();
+    let mut block: Option<String> = None;
+    for line in doc.lines() {
+        match (&mut block, line.trim().starts_with("```")) {
+            (Some(b), true) => {
+                if b.starts_with("# simcheck reproducer v1") {
+                    examples.push(std::mem::take(b));
+                }
+                block = None;
+            }
+            (Some(b), false) => {
+                b.push_str(line);
+                b.push('\n');
+            }
+            (None, true) => block = Some(String::new()),
+            (None, false) => {}
+        }
+    }
+    assert!(
+        examples.len() >= 2,
+        "EXPERIMENTS.md must keep a classic and a DSL reproducer example"
+    );
+    assert!(
+        examples.iter().any(|e| e.contains("dsl=")),
+        "one documented example must cover the dsl key"
+    );
+    for text in &examples {
+        let case = FuzzCase::from_repro(text)
+            .unwrap_or_else(|e| panic!("documented example must parse: {e}\n{text}"));
+        assert_eq!(
+            &case.to_repro(),
+            text,
+            "documented example must be exactly what to_repro emits"
+        );
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`sem`] — pure functional semantics (`eval_alu`, `eval_cmp`), used by
 //!   the simulator to execute programs *functionally correctly* while timing
 //!   is modeled separately.
+//! * [`dsl`] — a structured kernel DSL one level above the builder: records
+//!   a statement tree, compiles it to a byte-identical [`Program`], executes
+//!   it on the CPU as a functional oracle, and generates random race-free
+//!   kernels from a seed.
 //!
 //! # Example
 //!
@@ -51,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod dsl;
 mod instr;
 mod kernel;
 mod program;

@@ -16,6 +16,8 @@
 mod common;
 pub mod compute;
 pub mod dense;
+pub mod dslport;
+pub mod families;
 pub mod irregular;
 pub mod reduce;
 pub mod runner;
@@ -66,8 +68,16 @@ pub fn suite(scale: Scale) -> Vec<Box<dyn Workload>> {
     ]
 }
 
-/// Constructs one suite member by name at the given scale.
+/// Constructs one workload by name at the given scale: a hand-written
+/// suite member, or — for `gen:`-prefixed names — a generated family
+/// member (see [`families`]). Because generated workloads are addressed
+/// purely by name, they flow through run-spec content keys, the result
+/// store, and record/replay exactly like suite members.
 pub fn by_name(name: &str, scale: Scale) -> Option<Box<dyn Workload>> {
+    if name.starts_with("gen:") {
+        return families::GenWorkload::from_name(name, scale)
+            .map(|w| Box::new(w) as Box<dyn Workload>);
+    }
     suite(scale).into_iter().find(|w| w.name() == name)
 }
 
@@ -105,5 +115,14 @@ mod tests {
         assert!(by_name("vecadd", Scale::Tiny).is_some());
         assert!(by_name("matmul-tiled", Scale::Tiny).is_some());
         assert!(by_name("nonexistent", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn by_name_resolves_generated_families() {
+        let w = by_name("gen:stream/stride=33,ffma=16", Scale::Tiny).expect("valid spec");
+        assert_eq!(w.name(), "gen:stream/stride=33,ffma=16");
+        assert!(by_name("gen:rand/seed=7", Scale::Tiny).is_some());
+        assert!(by_name("gen:unknown", Scale::Tiny).is_none());
+        assert!(by_name("gen:stream/bogus=1", Scale::Tiny).is_none());
     }
 }
